@@ -1,0 +1,40 @@
+package fractal_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each wraps the corresponding harness experiment in Quick mode so `go test
+// -bench=.` exercises every reproduction path quickly; the full paper-scale
+// runs are produced by `go run ./cmd/fractal-bench` (see EXPERIMENTS.md).
+
+import (
+	"io"
+	"testing"
+
+	"fractal/internal/bench"
+)
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	o := bench.Options{Out: io.Discard, Quick: true}
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunExperiment(id, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Datasets(b *testing.B)      { runExp(b, "table1") }
+func BenchmarkFig8Utilization(b *testing.B)     { runExp(b, "fig8") }
+func BenchmarkFig11Motifs(b *testing.B)         { runExp(b, "fig11") }
+func BenchmarkFig12Cliques(b *testing.B)        { runExp(b, "fig12") }
+func BenchmarkFig13FSM(b *testing.B)            { runExp(b, "fig13") }
+func BenchmarkFig15Querying(b *testing.B)       { runExp(b, "fig15") }
+func BenchmarkTable2Memory(b *testing.B)        { runExp(b, "table2") }
+func BenchmarkFig16WorkStealing(b *testing.B)   { runExp(b, "fig16") }
+func BenchmarkFig17Reduction(b *testing.B)      { runExp(b, "fig17") }
+func BenchmarkFig18COST(b *testing.B)           { runExp(b, "fig18") }
+func BenchmarkFig19Scalability(b *testing.B)    { runExp(b, "fig19") }
+func BenchmarkFig20aTriangles(b *testing.B)     { runExp(b, "fig20a") }
+func BenchmarkFig20bCOSTOpt(b *testing.B)       { runExp(b, "fig20b") }
+func BenchmarkSec41StateEstimate(b *testing.B)  { runExp(b, "sec41") }
+func BenchmarkSec43ReductionStats(b *testing.B) { runExp(b, "sec43") }
+func BenchmarkSec6Overheads(b *testing.B)       { runExp(b, "sec6") }

@@ -1,0 +1,45 @@
+// Command fractal-bench regenerates the tables and figures of the Fractal
+// paper's evaluation on the synthetic dataset analogs.
+//
+// Usage:
+//
+//	fractal-bench [-quick] [-exp <id>] [-list]
+//
+// Without -exp, every experiment runs in order. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fractal/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (default: all)")
+		quick = flag.Bool("quick", false, "use reduced dataset sizes and sweeps")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	o := bench.Options{Out: os.Stdout, Quick: *quick}
+	var err error
+	if *exp == "" {
+		err = bench.RunAll(o)
+	} else {
+		err = bench.RunExperiment(*exp, o)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fractal-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+// Command fractal runs the GPM application kernels on a graph file.
+//
+// Usage:
+//
+//	fractal -graph <path> -app <name> [flags]
+//
+// Applications:
+//
+//	motifs    -k <vertices>
+//	cliques   -k <vertices> [-kclist]
+//	triangles
+//	fsm       -support <min> [-maxedges <n>] [-reduce]
+//	query     -pattern <triangle|square|diamond|clique4|clique5|house|prism|doublesquare>
+//	keywords  -keywords <comma,separated> [-reduce]
+//
+// Runtime flags: -workers, -cores, -ws (none|internal|external|both), -tcp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fractal"
+	"fractal/internal/apps"
+	"fractal/internal/pattern"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "input graph file (.graph, .el)")
+		app       = flag.String("app", "", "application to run")
+		k         = flag.Int("k", 3, "subgraph size (motifs, cliques)")
+		kclist    = flag.Bool("kclist", false, "use the KClist custom enumerator (cliques)")
+		support   = flag.Int64("support", 100, "minimum support (fsm)")
+		maxEdges  = flag.Int("maxedges", 3, "maximum pattern edges (fsm)")
+		reduce    = flag.Bool("reduce", false, "enable graph reduction (fsm, keywords)")
+		queryName = flag.String("pattern", "triangle", "query pattern (query)")
+		keywords  = flag.String("keywords", "", "comma-separated query keywords (keywords)")
+		workers   = flag.Int("workers", 1, "number of workers")
+		cores     = flag.Int("cores", 4, "cores per worker")
+		wsMode    = flag.String("ws", "both", "work stealing: none|internal|external|both")
+		useTCP    = flag.Bool("tcp", false, "use TCP transport between workers")
+	)
+	flag.Parse()
+	if *graphPath == "" || *app == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := fractal.Config{Workers: *workers, CoresPerWorker: *cores, UseTCP: *useTCP}
+	switch *wsMode {
+	case "none":
+		cfg.WS = fractal.WSNone
+	case "internal":
+		cfg.WS = fractal.WSInternal
+	case "external":
+		cfg.WS = fractal.WSExternal
+	case "both":
+		cfg.WS = fractal.WSBoth
+	default:
+		fatal(fmt.Errorf("unknown -ws mode %q", *wsMode))
+	}
+	ctx, err := fractal.NewContext(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer ctx.Close()
+	g := ctx.LoadGraphOrExit(*graphPath)
+	s := g.Stats()
+	fmt.Printf("loaded %s: |V|=%d |E|=%d |L|=%d\n", s.Name, s.V, s.E, s.L)
+
+	switch *app {
+	case "motifs":
+		m, res, err := apps.Motifs(ctx, g, *k)
+		check(err)
+		fmt.Printf("%d-vertex motifs: %d classes, %d subgraphs, %s\n",
+			*k, len(m), m.Total(), res.Wall)
+		for code, pc := range m {
+			fmt.Printf("  %x: %d  %v\n", code[:min(8, len(code))], pc.Count, pc.Pat)
+		}
+	case "cliques":
+		var n int64
+		var res *fractal.Result
+		if *kclist {
+			n, res, err = apps.CliquesKClist(ctx, g, *k)
+		} else {
+			n, res, err = apps.Cliques(ctx, g, *k)
+		}
+		check(err)
+		fmt.Printf("%d-cliques: %d (EC=%d, %s)\n", *k, n, res.TotalEC(), res.Wall)
+	case "triangles":
+		n, res, err := apps.Triangles(ctx, g)
+		check(err)
+		fmt.Printf("triangles: %d (EC=%d, %s)\n", n, res.TotalEC(), res.Wall)
+	case "fsm":
+		res, err := apps.FSM(ctx, g, *support, apps.FSMOptions{MaxEdges: *maxEdges, GraphReduction: *reduce})
+		check(err)
+		fmt.Printf("frequent patterns (support >= %d): %d, per level %v\n",
+			*support, len(res.Frequent), res.PerLevel)
+		for _, ds := range res.Frequent {
+			fmt.Printf("  s=%d  %v\n", ds.Support(), ds.Pat)
+		}
+	case "query":
+		p, err := patternByName(*queryName)
+		check(err)
+		n, res, err := apps.Query(ctx, g, p)
+		check(err)
+		fmt.Printf("matches of %s: %d (EC=%d, %s)\n", *queryName, n, res.TotalEC(), res.Wall)
+	case "keywords":
+		if *keywords == "" {
+			fatal(fmt.Errorf("-keywords required"))
+		}
+		res, err := apps.KeywordSearch(ctx, g, strings.Split(*keywords, ","),
+			apps.KeywordOptions{GraphReduction: *reduce})
+		check(err)
+		fmt.Printf("covering subgraphs: %d (graph |V|=%d |E|=%d, EC=%d, %s)\n",
+			res.Matches, res.GraphV, res.GraphE, res.EC, res.Result.Wall)
+	default:
+		fatal(fmt.Errorf("unknown -app %q", *app))
+	}
+}
+
+func patternByName(name string) (*fractal.Pattern, error) {
+	switch name {
+	case "triangle":
+		return pattern.Triangle(), nil
+	case "square":
+		return pattern.Cycle(4), nil
+	case "diamond":
+		return pattern.ChordalSquare(), nil
+	case "clique4":
+		return pattern.Clique(4), nil
+	case "clique5":
+		return pattern.Clique(5), nil
+	case "house":
+		return pattern.House(), nil
+	case "prism":
+		return pattern.SEEDQueries()[6], nil
+	case "doublesquare":
+		return pattern.DoubleSquare(), nil
+	}
+	return nil, fmt.Errorf("unknown pattern %q", name)
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fractal:", err)
+	os.Exit(1)
+}

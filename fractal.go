@@ -1,0 +1,193 @@
+// Package fractal is a Go implementation of Fractal, the general-purpose
+// graph pattern mining (GPM) system of Dias et al. (SIGMOD 2019). It
+// provides the paper's subgraph-centric programming interface — fractoids
+// composed from extension, aggregation, and filtering primitives — on top of
+// a from-scratch, depth-first, work-stealing runtime.
+//
+// A minimal application (counting triangles):
+//
+//	ctx, _ := fractal.NewContext(fractal.Config{Workers: 1, CoresPerWorker: 4})
+//	defer ctx.Close()
+//	g, _ := ctx.AdjacencyList("mico.graph")
+//	n, _, _ := g.VFractoid().Expand(3).
+//		Filter(fractal.CliqueFilter).
+//		Count()
+//
+// See the examples directory for the paper's application listings (motifs,
+// cliques, FSM, keyword search, subgraph querying) written against this API.
+package fractal
+
+import (
+	"fmt"
+	"os"
+
+	"fractal/internal/agg"
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+	"fractal/internal/sched"
+	"fractal/internal/subgraph"
+)
+
+// Config configures the runtime: number of workers, cores per worker,
+// work-stealing mode, and transport. See sched.Config.
+type Config = sched.Config
+
+// Re-exported work-stealing modes.
+const (
+	WSNone     = sched.WSNone
+	WSInternal = sched.WSInternal
+	WSExternal = sched.WSExternal
+	WSBoth     = sched.WSBoth
+)
+
+// Subgraph is the embedding passed to user functions (filters, aggregation
+// key/value extractors, visitors).
+type Subgraph = subgraph.Embedding
+
+// Pattern is a subgraph template (for pattern-induced fractoids and
+// aggregation keys).
+type Pattern = pattern.Pattern
+
+// DomainSupport is the minimum image-based support value used by FSM.
+type DomainSupport = agg.DomainSupport
+
+// Aggregations is the environment of named aggregation results.
+type Aggregations = agg.Registry
+
+// StepReport re-exports the per-step execution metrics.
+type StepReport = sched.StepReport
+
+// Context is the entry point of a Fractal application (the FractalContext of
+// Figure 2, operator C1). It owns the runtime resources; Close releases
+// them.
+type Context struct {
+	rt    *sched.Runtime
+	cache *pattern.CodeCache
+}
+
+// NewContext starts a runtime with the given configuration (zero value:
+// one worker, one core, hierarchical work stealing).
+func NewContext(cfg Config) (*Context, error) {
+	if cfg.Workers == 0 && cfg.CoresPerWorker == 0 && cfg.WS == WSNone {
+		cfg.WS = WSBoth
+	}
+	rt, err := sched.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{rt: rt, cache: pattern.NewCodeCache(0)}, nil
+}
+
+// Close shuts the runtime down.
+func (c *Context) Close() { c.rt.Close() }
+
+// Config returns the effective runtime configuration.
+func (c *Context) Config() Config { return c.rt.Config() }
+
+// AdjacencyList loads a graph file (operator I1 of Figure 2). The format is
+// chosen by extension: ".graph" adjacency list, ".el" labeled edge list; a
+// "<path>.kw" keyword sidecar is applied when present.
+func (c *Context) AdjacencyList(path string) (*Graph, error) {
+	g, err := graph.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fractal: loading %s: %w", path, err)
+	}
+	return &Graph{ctx: c, g: g}, nil
+}
+
+// FromGraph wraps an in-memory graph as a fractal graph.
+func (c *Context) FromGraph(g *graph.Graph) *Graph { return &Graph{ctx: c, g: g} }
+
+// Graph is a fractal graph: the handle fractoids are derived from. It also
+// exposes the graph reduction operators of Figure 10.
+type Graph struct {
+	ctx *Context
+	g   *graph.Graph
+}
+
+// Raw returns the underlying immutable graph.
+func (fg *Graph) Raw() *graph.Graph { return fg.g }
+
+// VFractoid derives an empty vertex-induced fractoid (operator B1).
+func (fg *Graph) VFractoid() *Fractoid {
+	return &Fractoid{fg: fg, kind: subgraph.VertexInduced}
+}
+
+// EFractoid derives an empty edge-induced fractoid (operator B2).
+func (fg *Graph) EFractoid() *Fractoid {
+	return &Fractoid{fg: fg, kind: subgraph.EdgeInduced}
+}
+
+// PFractoid derives an empty pattern-induced fractoid for query pattern p
+// (operator B3). The error reports unusable patterns (empty, disconnected).
+func (fg *Graph) PFractoid(p *Pattern) *Fractoid {
+	plan, err := pattern.NewPlan(p)
+	if err != nil {
+		return &Fractoid{fg: fg, err: err}
+	}
+	return &Fractoid{fg: fg, kind: subgraph.PatternInduced, plan: plan}
+}
+
+// VFractoidWith derives a vertex-induced fractoid using a custom subgraph
+// enumerator (Appendix B of the paper; see subgraph.CustomExtender). The
+// prototype is cloned per execution core.
+func (fg *Graph) VFractoidWith(custom subgraph.CustomExtender) *Fractoid {
+	return &Fractoid{fg: fg, kind: subgraph.VertexInduced, custom: custom}
+}
+
+// VFilter materializes the reduced graph keeping the vertices that pass f
+// (operator R1, Section 4.3).
+func (fg *Graph) VFilter(f func(v graph.VertexID, g *graph.Graph) bool) *Graph {
+	return &Graph{ctx: fg.ctx, g: graph.Reduce(fg.g, f, nil).Graph}
+}
+
+// EFilter materializes the reduced graph keeping the edges that pass f
+// (operator R2, Section 4.3).
+func (fg *Graph) EFilter(f func(e graph.EdgeID, g *graph.Graph) bool) *Graph {
+	return &Graph{ctx: fg.ctx, g: graph.Reduce(fg.g, nil, f).Graph}
+}
+
+// Stats returns the Table 1 summary of the graph.
+func (fg *Graph) Stats() graph.Stats { return fg.g.Stats() }
+
+// PatternOf returns the canonical pattern key of an embedding, using the
+// context-wide code cache. The returned Canon carries the code string (a
+// valid aggregation key) and the canonical position of every embedding
+// vertex.
+func (c *Context) PatternOf(e *Subgraph) pattern.Canon {
+	return c.cache.Canonical(e.Pattern())
+}
+
+// PatternCanon canonicalizes an explicit pattern through the context-wide
+// code cache.
+func (c *Context) PatternCanon(p *Pattern) pattern.Canon {
+	return c.cache.Canonical(p)
+}
+
+// MNISupport builds the minimum image-based support contribution of a
+// single embedding, aligned by canonical position (the value function of
+// the paper's FSM listing).
+func (c *Context) MNISupport(e *Subgraph, threshold int64) *DomainSupport {
+	p := e.Pattern()
+	canon := c.cache.Canonical(p)
+	return agg.NewDomainSupport(p, threshold, e.Vertices(), canon.Perm)
+}
+
+// CliqueFilter is the local clique check of Listing 2: the number of edges
+// added by the last expansion must equal the number of vertices minus one,
+// i.e. every vertex is adjacent to every other.
+func CliqueFilter(e *Subgraph) bool {
+	nv := e.NumVertices()
+	return e.NumEdges()*2 == nv*(nv-1)
+}
+
+// LoadGraphOrExit is a convenience for examples: it loads a graph file and
+// exits the process with a message on failure.
+func (c *Context) LoadGraphOrExit(path string) *Graph {
+	fg, err := c.AdjacencyList(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return fg
+}

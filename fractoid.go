@@ -1,0 +1,192 @@
+package fractal
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"fractal/internal/agg"
+	"fractal/internal/pattern"
+	"fractal/internal/sched"
+	"fractal/internal/step"
+	"fractal/internal/subgraph"
+)
+
+// Fractoid holds the state of a Fractal application: the workflow of
+// primitives accumulated so far plus the aggregation environment (Section
+// 3.1). Fractoids are immutable — every operator returns a derived fractoid —
+// so partial results can be executed and refined interactively.
+type Fractoid struct {
+	fg     *Graph
+	kind   subgraph.Kind
+	plan   *pattern.Plan
+	custom subgraph.CustomExtender
+	wf     step.Workflow
+	env    *Aggregations
+	err    error
+}
+
+// derive copies the fractoid with extra primitives appended.
+func (f *Fractoid) derive(extra ...step.Primitive) *Fractoid {
+	nf := *f
+	nf.wf = append(append(step.Workflow{}, f.wf...), extra...)
+	return &nf
+}
+
+// Err returns the first construction error (e.g. an unusable query
+// pattern); execution methods return it too.
+func (f *Fractoid) Err() error { return f.err }
+
+// Workflow returns the compact primitive string, e.g. "EEEA".
+func (f *Fractoid) Workflow() string { return f.wf.String() }
+
+// WithAggregations attaches precomputed aggregation results that AggFilter
+// operators may read (the FSM loop threads its "support" this way).
+func (f *Fractoid) WithAggregations(env *Aggregations) *Fractoid {
+	nf := *f
+	nf.wf = append(step.Workflow{}, f.wf...)
+	nf.env = env
+	return &nf
+}
+
+// Expand appends n extension primitives (operator W1).
+func (f *Fractoid) Expand(n int) *Fractoid {
+	nf := f
+	for i := 0; i < n; i++ {
+		nf = nf.derive(step.ExtendP())
+	}
+	return nf
+}
+
+// Filter appends a local filtering primitive (operator W3).
+func (f *Fractoid) Filter(pred func(*Subgraph) bool) *Fractoid {
+	return f.derive(step.FilterP(pred))
+}
+
+// Explore repeats the fractoid's current workflow fragment so that it
+// appears n times in total (operator W5). Listing 2 of the paper builds
+// k-clique listing as expand(1).filter(clique).explore(k).
+func (f *Fractoid) Explore(n int) *Fractoid {
+	if n < 1 {
+		nf := *f
+		nf.err = fmt.Errorf("fractal: explore(%d) requires n >= 1", n)
+		return &nf
+	}
+	fragment := append(step.Workflow{}, f.wf...)
+	nf := f
+	for i := 1; i < n; i++ {
+		nf = nf.derive(fragment...)
+	}
+	return nf
+}
+
+// Visit appends a primitive that streams each embedding reaching this point
+// of the workflow to fn. fn runs concurrently on all cores and must be safe
+// for that.
+func (f *Fractoid) Visit(fn func(*Subgraph)) *Fractoid {
+	return f.derive(step.VisitP(fn))
+}
+
+// Aggregate appends an aggregation primitive (operator W2): key and value
+// extract an entry from each subgraph, reduce folds values per key, and the
+// optional aggFilter (nil for none) prunes the final reduced mapping. K and
+// V must be gob-encodable for cross-worker merging.
+func Aggregate[K comparable, V any](f *Fractoid, name string,
+	key func(*Subgraph) K, value func(*Subgraph) V,
+	reduce func(V, V) V, aggFilter func(K, V) bool) *Fractoid {
+	proto := agg.New[K, V](reduce)
+	if aggFilter != nil {
+		proto.WithFilter(aggFilter)
+	}
+	spec := &step.AggSpec{
+		Name:  name,
+		Proto: proto,
+		Emit: func(e *subgraph.Embedding, local agg.Store) {
+			local.(*agg.Aggregation[K, V]).Add(key(e), value(e))
+		},
+	}
+	return f.derive(step.AggregateP(spec))
+}
+
+// FilterAgg appends an aggregation-filtering primitive (operator W4): pred
+// sees each subgraph together with the computed aggregation named name.
+// Reading an aggregation defined earlier in the same workflow introduces a
+// synchronization point (Algorithm 2).
+func FilterAgg[K comparable, V any](f *Fractoid, name string,
+	pred func(*Subgraph, *agg.Aggregation[K, V]) bool) *Fractoid {
+	return f.derive(step.AggFilterP(name, func(e *subgraph.Embedding, s agg.Store) bool {
+		a, ok := s.(*agg.Aggregation[K, V])
+		return ok && pred(e, a)
+	}))
+}
+
+// Result reports the outcome of executing a fractoid.
+type Result struct {
+	// Aggregations holds every aggregation computed by the execution.
+	Aggregations *Aggregations
+	// Steps reports per-step metrics.
+	Steps []StepReport
+	// Wall is the total execution time.
+	Wall time.Duration
+}
+
+// TotalEC sums the extension cost over all steps.
+func (r *Result) TotalEC() int64 {
+	var t int64
+	for _, s := range r.Steps {
+		t += s.EC
+	}
+	return t
+}
+
+// run executes the fractoid's workflow.
+func (f *Fractoid) run() (*Result, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	res, err := f.fg.ctx.rt.Run(sched.Job{
+		Graph:    f.fg.g,
+		Kind:     f.kind,
+		Plan:     f.plan,
+		Custom:   f.custom,
+		Workflow: f.wf,
+		Env:      f.env,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Aggregations: res.Env, Steps: res.Steps, Wall: res.Wall}, nil
+}
+
+// Run executes the workflow as-is (triggering every synchronization point)
+// and returns the computed aggregations and metrics.
+func (f *Fractoid) Run() (*Result, error) { return f.run() }
+
+// Subgraphs executes the workflow and streams every complete embedding to
+// visit (output operator O1; the paper exposes an RDD, this implementation
+// streams). visit runs concurrently on all cores.
+func (f *Fractoid) Subgraphs(visit func(*Subgraph)) (*Result, error) {
+	return f.Visit(visit).run()
+}
+
+// Count executes the workflow and returns the number of embeddings that
+// reach the end of it.
+func (f *Fractoid) Count() (int64, *Result, error) {
+	var n atomic.Int64
+	res, err := f.Visit(func(*Subgraph) { n.Add(1) }).run()
+	return n.Load(), res, err
+}
+
+// AggregationMap executes the fractoid and returns the reduced mapping of
+// the named aggregation (output operator O2).
+func AggregationMap[K comparable, V any](f *Fractoid, name string) (map[K]V, *Result, error) {
+	res, err := f.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := agg.Typed[K, V](res.Aggregations, name)
+	if err != nil {
+		return nil, res, err
+	}
+	return a.Entries(), res, nil
+}

@@ -1,0 +1,110 @@
+package agg
+
+import (
+	"fmt"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+// DomainSupport implements the minimum image-based support of Bringmann &
+// Nijssen (PAKDD'08), the anti-monotonic support function the paper adopts
+// for FSM (Section 2.2): the support of a pattern is the minimum, over
+// canonical pattern positions, of the number of distinct input-graph
+// vertices bound to that position across all of the pattern's embeddings.
+//
+// All fields are exported for gob transport between workers.
+type DomainSupport struct {
+	// Pat is a representative pattern for reporting (first seen wins).
+	Pat *pattern.Pattern
+	// Threshold is the minimum support α the mining run uses.
+	Threshold int64
+	// Domains[i] is the set of graph vertices bound to canonical position i.
+	Domains []map[graph.VertexID]bool
+}
+
+// NewDomainSupport returns the support contribution of a single embedding:
+// vertices[i] is the graph vertex at embedding position i and perm[i] its
+// canonical pattern position (from pattern.Canon.Perm), so that domains from
+// different embeddings of the same pattern align.
+func NewDomainSupport(p *pattern.Pattern, threshold int64, vertices []graph.VertexID, perm []int) *DomainSupport {
+	ds := &DomainSupport{
+		Pat:       p,
+		Threshold: threshold,
+		Domains:   make([]map[graph.VertexID]bool, len(vertices)),
+	}
+	for i := range ds.Domains {
+		ds.Domains[i] = map[graph.VertexID]bool{}
+	}
+	for i, v := range vertices {
+		ds.Domains[perm[i]][v] = true
+	}
+	return ds
+}
+
+// Aggregate folds other into ds (the reduction function of the FSM
+// aggregation in Listing 3 of the paper).
+func (ds *DomainSupport) Aggregate(other *DomainSupport) *DomainSupport {
+	if ds == nil {
+		return other
+	}
+	if other == nil {
+		return ds
+	}
+	if ds.Pat == nil {
+		ds.Pat = other.Pat
+	}
+	if len(other.Domains) != len(ds.Domains) {
+		// Same canonical key implies same arity; defensive no-op otherwise.
+		return ds
+	}
+	for i, d := range other.Domains {
+		for v := range d {
+			ds.Domains[i][v] = true
+		}
+	}
+	return ds
+}
+
+// Support returns the minimum image-based support s(P).
+func (ds *DomainSupport) Support() int64 {
+	if len(ds.Domains) == 0 {
+		return 0
+	}
+	min := int64(len(ds.Domains[0]))
+	for _, d := range ds.Domains[1:] {
+		if n := int64(len(d)); n < min {
+			min = n
+		}
+	}
+	return min
+}
+
+// HasEnoughSupport reports s(P) >= Threshold.
+func (ds *DomainSupport) HasEnoughSupport() bool { return ds.Support() >= ds.Threshold }
+
+// String summarizes the support entry.
+func (ds *DomainSupport) String() string {
+	return fmt.Sprintf("DomainSupport(s=%d α=%d positions=%d)",
+		ds.Support(), ds.Threshold, len(ds.Domains))
+}
+
+// ReduceDomainSupport is the reduction function for DomainSupport
+// aggregations.
+func ReduceDomainSupport(a, b *DomainSupport) *DomainSupport { return a.Aggregate(b) }
+
+// PatternCount is the value of pattern-frequency aggregations (motifs): a
+// count plus a representative pattern for reporting.
+type PatternCount struct {
+	Pat   *pattern.Pattern
+	Count int64
+}
+
+// ReducePatternCount sums counts, keeping the first representative pattern.
+func ReducePatternCount(a, b PatternCount) PatternCount {
+	if a.Pat == nil {
+		a.Pat = b.Pat
+	}
+	a.Count += b.Count
+	return a
+}

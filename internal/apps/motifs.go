@@ -1,0 +1,44 @@
+// Package apps implements the GPM applications evaluated in the paper
+// (Section 2.2, Appendix A) on top of the public Fractal API: motifs,
+// cliques (plain and KClist-optimized), triangles, frequent subgraph
+// mining, subgraph querying, and keyword search. Each function mirrors the
+// corresponding listing of the paper.
+package apps
+
+import (
+	"fractal"
+	"fractal/internal/agg"
+)
+
+// MotifCounts is the result of the motifs kernel: counts per pattern with a
+// representative pattern for reporting.
+type MotifCounts map[string]agg.PatternCount
+
+// Total sums the counts.
+func (m MotifCounts) Total() int64 {
+	var t int64
+	for _, pc := range m {
+		t += pc.Count
+	}
+	return t
+}
+
+// Motifs counts the frequencies of all k-vertex induced subgraph patterns
+// (Listing 1 of the paper):
+//
+//	graph.vfractoid.expand(k).
+//	  aggregate[Pattern,Long]("motifs", pattern, 1, sum).
+//	  aggregation("motifs")
+func Motifs(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
+	frac := fractal.Aggregate(g.VFractoid().Expand(k), "motifs",
+		func(e *fractal.Subgraph) string { return fc.PatternOf(e).Code },
+		func(e *fractal.Subgraph) agg.PatternCount {
+			return agg.PatternCount{Pat: e.Pattern(), Count: 1}
+		},
+		agg.ReducePatternCount, nil)
+	m, res, err := fractal.AggregationMap[string, agg.PatternCount](frac, "motifs")
+	if err != nil {
+		return nil, res, err
+	}
+	return MotifCounts(m), res, nil
+}

@@ -1,0 +1,27 @@
+package apps
+
+import (
+	"fractal"
+	"fractal/internal/pattern"
+)
+
+// Query lists the subgraphs of g isomorphic to the query pattern p
+// (Listing 5 of the paper):
+//
+//	results = graph.pfractoid(query).expand(query.nvertices).subgraphs()
+//
+// It returns the number of matches (each subgraph instance counted once,
+// via the plan's symmetry-breaking conditions).
+func Query(fc *fractal.Context, g *fractal.Graph, p *fractal.Pattern) (int64, *fractal.Result, error) {
+	return g.PFractoid(p).Expand(p.NumVertices()).Count()
+}
+
+// QueryVisit streams every match of p to visit. visit runs concurrently on
+// all cores.
+func QueryVisit(fc *fractal.Context, g *fractal.Graph, p *fractal.Pattern,
+	visit func(*fractal.Subgraph)) (*fractal.Result, error) {
+	return g.PFractoid(p).Expand(p.NumVertices()).Subgraphs(visit)
+}
+
+// SEEDQueries re-exports the benchmark query suite q1..q8 (Figure 14).
+func SEEDQueries() []*fractal.Pattern { return pattern.SEEDQueries() }

@@ -1,0 +1,9 @@
+// Package baselines groups the comparator systems of the paper's
+// evaluation: the Arabesque-style BFS/BSP engine (bfsengine), the SEED-style
+// join enumerator (seed), the ScaleMine-style two-phase FSM (scalemine),
+// MapReduce-round counters in the style of MRSUB / QKCount / GraphFrames
+// (mapreduce), and the tuned single-threaded algorithms of the COST analysis
+// (singlethread). The cross-validation tests in this directory check that
+// every baseline agrees with every other — and with Fractal itself — on the
+// quantities they all compute.
+package baselines

@@ -1,0 +1,216 @@
+// Package mapreduce implements the MapReduce-round baselines of the paper's
+// comparisons: an MRSUB-style motif counter (Shahrivari & Jalili), a
+// QKCount-style clique counter (Finocchi et al.), and a GraphFrames-style
+// join triangle counter. Each round materializes its full intermediate
+// relation ("shuffle"), so these baselines are memory-hungry and can run
+// out of memory on larger inputs, as they do in Figures 11, 12, and 20a.
+package mapreduce
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"fractal/internal/graph"
+	"fractal/internal/metrics"
+	"fractal/internal/pattern"
+)
+
+// ErrOutOfMemory reports a round whose materialized relation exceeded the
+// budget.
+var ErrOutOfMemory = errors.New("mapreduce: round exceeded memory budget")
+
+// Result reports a run.
+type Result struct {
+	Count          int64
+	PeakStateBytes int64
+	Rounds         int
+	Wall           time.Duration
+}
+
+// vset is a sorted vertex tuple.
+type vset []graph.VertexID
+
+func (s vset) key() string {
+	b := make([]byte, 0, len(s)*4)
+	for _, v := range s {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// Cliques counts k-cliques with round-based joins: round r materializes all
+// r-cliques and joins them against adjacency (QKCount-style).
+func Cliques(g *graph.Graph, k int, budget int64) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+	// Round 1: edges as sorted pairs.
+	cur := make([]vset, 0, g.NumEdges())
+	seen := map[string]bool{}
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.EdgeByID(graph.EdgeID(id))
+		s := vset{e.Src, e.Dst}
+		if key := s.key(); !seen[key] {
+			seen[key] = true
+			cur = append(cur, s)
+		}
+	}
+	res.Rounds = 1
+	if err := res.account(cur, budget); err != nil {
+		return nil, err
+	}
+	for size := 2; size < k; size++ {
+		next := make([]vset, 0, len(cur))
+		for _, s := range cur {
+			// Extend with common neighbors greater than max(s).
+			last := s[len(s)-1]
+			for _, u := range g.Neighbors(last) {
+				if u <= last {
+					continue
+				}
+				ok := true
+				for _, v := range s[:len(s)-1] {
+					if !g.HasEdge(u, v) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					ns := make(vset, len(s)+1)
+					copy(ns, s)
+					ns[len(s)] = u
+					next = append(next, ns)
+				}
+			}
+		}
+		cur = next
+		res.Rounds++
+		if err := res.account(cur, budget); err != nil {
+			return nil, err
+		}
+	}
+	res.Count = int64(len(cur))
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// Triangles counts triangles with the GraphFrames-style edge-edge join:
+// materialize all wedges (2-paths), then probe the edge relation. The wedge
+// relation is what blows memory on skewed graphs.
+func Triangles(g *graph.Graph, budget int64) (*Result, error) {
+	start := time.Now()
+	res := &Result{Rounds: 2}
+	type wedge struct{ a, b graph.VertexID } // endpoints, a < b, via some center
+	var wedges []wedge
+	for c := 0; c < g.NumVertices(); c++ {
+		nb := g.Neighbors(graph.VertexID(c))
+		for i := 0; i < len(nb); i++ {
+			for j := i + 1; j < len(nb); j++ {
+				a, b := nb[i], nb[j]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				wedges = append(wedges, wedge{a, b})
+			}
+		}
+		bytes := metrics.EmbeddingBytes(2, 0) * int64(len(wedges))
+		if bytes > res.PeakStateBytes {
+			res.PeakStateBytes = bytes
+		}
+		if budget > 0 && bytes > budget {
+			return nil, ErrOutOfMemory
+		}
+	}
+	var count int64
+	for _, w := range wedges {
+		if g.HasEdge(w.a, w.b) {
+			count++
+		}
+	}
+	// Every triangle yields three wedges closed by an edge.
+	res.Count = count / 3
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// Motifs counts k-vertex motifs MRSUB-style: rounds materialize all
+// connected vertex sets of growing size (deduplicated through a shuffle
+// keyed by the sorted set), and the final round canonicalizes every set
+// without a pattern cache (each mapper classifies independently).
+func Motifs(g *graph.Graph, k int, budget int64) (map[string]int64, *Result, error) {
+	start := time.Now()
+	res := &Result{}
+	cur := make([]vset, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		cur = append(cur, vset{graph.VertexID(v)})
+	}
+	res.Rounds = 1
+	for size := 1; size < k; size++ {
+		shuffle := map[string]vset{}
+		for _, s := range cur {
+			for _, v := range s {
+				for _, u := range g.Neighbors(v) {
+					if containsV(s, u) {
+						continue
+					}
+					ns := make(vset, len(s), len(s)+1)
+					copy(ns, s)
+					ns = insertSorted(ns, u)
+					shuffle[ns.key()] = ns
+				}
+			}
+		}
+		cur = cur[:0]
+		for _, s := range shuffle {
+			cur = append(cur, s)
+		}
+		// Deterministic order for reproducibility.
+		sort.Slice(cur, func(i, j int) bool { return cur[i].key() < cur[j].key() })
+		res.Rounds++
+		if err := res.account(cur, budget); err != nil {
+			return nil, nil, err
+		}
+	}
+	counts := map[string]int64{}
+	for _, s := range cur {
+		p := pattern.FromEmbedding(g, s, nil)
+		counts[p.Canonical().Code]++ // no cache: MR mappers are stateless
+	}
+	res.Count = int64(len(cur))
+	res.Wall = time.Since(start)
+	return counts, res, nil
+}
+
+func (r *Result) account(rel []vset, budget int64) error {
+	var bytes int64
+	for _, s := range rel {
+		bytes += metrics.EmbeddingBytes(len(s), 0)
+	}
+	if bytes > r.PeakStateBytes {
+		r.PeakStateBytes = bytes
+	}
+	if budget > 0 && bytes > budget {
+		return ErrOutOfMemory
+	}
+	return nil
+}
+
+func containsV(s vset, v graph.VertexID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(s vset, v graph.VertexID) vset {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

@@ -1,0 +1,111 @@
+package mapreduce
+
+import (
+	"errors"
+	"testing"
+
+	"fractal/internal/graph"
+)
+
+func k4p() *graph.Graph {
+	b := graph.NewBuilder("k4p")
+	for i := 0; i < 5; i++ {
+		b.AddVertex()
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	b.MustAddEdge(3, 4)
+	return b.Build()
+}
+
+func TestCliquesRounds(t *testing.T) {
+	g := k4p()
+	for k, want := range map[int]int64{2: 7, 3: 4, 4: 1} {
+		res, err := Cliques(g, k, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != want {
+			t.Errorf("%d-cliques=%d, want %d", k, res.Count, want)
+		}
+		if res.Rounds != k-1 {
+			t.Errorf("%d-cliques used %d rounds, want %d", k, res.Rounds, k-1)
+		}
+	}
+}
+
+func TestTrianglesWedges(t *testing.T) {
+	res, err := Triangles(k4p(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 4 {
+		t.Errorf("triangles=%d, want 4", res.Count)
+	}
+	if res.PeakStateBytes == 0 {
+		t.Error("wedge state not accounted")
+	}
+}
+
+func TestMotifsShuffleDedup(t *testing.T) {
+	counts, res, err := Motifs(k4p(), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 7 {
+		t.Errorf("3-sets=%d, want 7", res.Count)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 7 || len(counts) != 2 {
+		t.Errorf("counts=%v", counts)
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	g := k4p()
+	if _, err := Cliques(g, 3, 8); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("cliques budget: %v", err)
+	}
+	if _, err := Triangles(g, 8); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("triangles budget: %v", err)
+	}
+	if _, _, err := Motifs(g, 3, 8); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("motifs budget: %v", err)
+	}
+}
+
+func TestVsetKeyAndInsert(t *testing.T) {
+	a := vset{3, 1, 2}
+	b := insertSorted(vset{1, 3}, 2)
+	if len(b) != 3 || b[0] != 1 || b[1] != 2 || b[2] != 3 {
+		t.Errorf("insertSorted=%v", b)
+	}
+	if a.key() == b.key() {
+		t.Error("different sets share a key")
+	}
+	if insertSorted(vset{}, 5)[0] != 5 {
+		t.Error("insert into empty failed")
+	}
+}
+
+func TestMultigraphDedup(t *testing.T) {
+	b := graph.NewBuilder("multi")
+	b.AddVertex()
+	b.AddVertex()
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(0, 1) // parallel
+	g := b.Build()
+	res, err := Cliques(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1 {
+		t.Errorf("parallel edges double-counted: %d", res.Count)
+	}
+}

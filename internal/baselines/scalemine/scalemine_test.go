@@ -1,0 +1,80 @@
+package scalemine
+
+import (
+	"testing"
+
+	"fractal/internal/graph"
+)
+
+// fsmGraph: 4 disjoint A-A edges + 1 B-B edge.
+func fsmGraph() *graph.Graph {
+	b := graph.NewBuilder("fsm")
+	for i := 0; i < 4; i++ {
+		u := b.AddVertex(1)
+		v := b.AddVertex(1)
+		b.MustAddEdge(u, v)
+	}
+	u := b.AddVertex(2)
+	v := b.AddVertex(2)
+	b.MustAddEdge(u, v)
+	return b.Build()
+}
+
+func TestMineExactSet(t *testing.T) {
+	res := Mine(fsmGraph(), 3, Options{MaxEdges: 2, Seed: 1})
+	if len(res.Frequent) != 1 {
+		t.Fatalf("frequent=%d, want 1 (the A-A edge)", len(res.Frequent))
+	}
+	for _, s := range res.Frequent {
+		// Supports are capped at the threshold: exact decision, saturated
+		// count.
+		if s != 3 {
+			t.Errorf("capped support=%d, want 3 (true support is 4)", s)
+		}
+	}
+	if res.SampledPatterns == 0 {
+		t.Error("phase 1 sampled nothing")
+	}
+	if res.Phase1 <= 0 || res.Phase2 <= 0 {
+		t.Error("phase durations not recorded")
+	}
+}
+
+func TestMineDeterministicUnderSeed(t *testing.T) {
+	a := Mine(fsmGraph(), 2, Options{MaxEdges: 2, Seed: 9})
+	b := Mine(fsmGraph(), 2, Options{MaxEdges: 2, Seed: 9})
+	if a.SampledPatterns != b.SampledPatterns || len(a.Frequent) != len(b.Frequent) {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestMineNothingFrequent(t *testing.T) {
+	res := Mine(fsmGraph(), 100, Options{MaxEdges: 3, Seed: 2})
+	if len(res.Frequent) != 0 {
+		t.Errorf("frequent=%d at threshold 100", len(res.Frequent))
+	}
+	if len(res.PerLevel) == 0 || res.PerLevel[0] != 0 {
+		t.Errorf("PerLevel=%v", res.PerLevel)
+	}
+}
+
+func TestCappedSupport(t *testing.T) {
+	cs := newCappedSupport(2, 3)
+	for v := graph.VertexID(0); v < 10; v++ {
+		cs.add([]graph.VertexID{v, v + 100}, []int{0, 1})
+	}
+	if cs.support() != 3 {
+		t.Errorf("capped support=%d, want cap 3", cs.support())
+	}
+	empty := newCappedSupport(0, 3)
+	if empty.support() != 0 {
+		t.Error("empty capped support should be 0")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	res := Mine(fsmGraph(), 3, Options{})
+	if res == nil || res.Frequent == nil {
+		t.Fatal("defaults broke Mine")
+	}
+}

@@ -1,0 +1,295 @@
+// Package seed implements the SEED-style baseline for subgraph querying
+// (Lai et al., VLDB'16): a join-based enumerator that decomposes the query
+// pattern into units (triangles and single edges), materializes the matches
+// of each unit, and hash-joins partial assignments unit by unit. Join-based
+// plans shine when units overlap heavily (cliques, symmetric patterns like
+// the paper's q1/q4/q5/q7) and suffer when partial-match relations explode
+// (sparse paths/cycles), which is exactly the behaviour of Figure 15.
+package seed
+
+import (
+	"fmt"
+	"time"
+
+	"fractal/internal/baselines/singlethread"
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+// Result reports a join-based query evaluation.
+type Result struct {
+	// Count is the number of matches (subgraph instances).
+	Count int64
+	// PeakPartials is the largest materialized partial-assignment relation.
+	PeakPartials int64
+	// Units is the number of join units in the plan.
+	Units int
+	// Wall is the evaluation time.
+	Wall time.Duration
+}
+
+// unit is one decomposition element: a set of pattern vertices whose
+// induced pattern edges it covers.
+type unit struct {
+	verts []int // pattern vertices, triangle (3) or edge (2)
+}
+
+// Query evaluates pattern p over g with a star/triangle join plan.
+func Query(g *graph.Graph, p *pattern.Pattern, maxPartials int64) (*Result, error) {
+	if p.NumVertices() < 2 {
+		return nil, fmt.Errorf("seed: pattern too small")
+	}
+	start := time.Now()
+	units := decompose(p)
+	res := &Result{Units: len(units)}
+
+	// Assignments are tuples indexed by pattern vertex; NilVertex marks an
+	// unbound position.
+	n := p.NumVertices()
+	type tuple []graph.VertexID
+
+	// Match the first unit.
+	var cur []tuple
+	for _, e := range matchUnit(g, p, units[0], nil, nil) {
+		t := make(tuple, n)
+		for i := range t {
+			t[i] = graph.NilVertex
+		}
+		for i, v := range units[0].verts {
+			t[v] = e[i]
+		}
+		cur = append(cur, t)
+	}
+	res.observe(int64(len(cur)))
+
+	bound := make([]bool, n)
+	for _, v := range units[0].verts {
+		bound[v] = true
+	}
+	for _, u := range units[1:] {
+		// Join cur with the matches of u on the shared bound vertices,
+		// which are moved to the front so the matcher binds them first and
+		// extends through adjacency instead of scanning the vertex set.
+		var shared, fresh []int
+		for _, v := range u.verts {
+			if bound[v] {
+				shared = append(shared, v)
+			} else {
+				fresh = append(fresh, v)
+			}
+		}
+		u.verts = append(append([]int(nil), shared...), fresh...)
+		next := make([]tuple, 0, len(cur))
+		for _, t := range cur {
+			for _, e := range matchUnit(g, p, u, t, shared) {
+				nt := make(tuple, n)
+				copy(nt, t)
+				ok := true
+				for i, v := range u.verts {
+					gv := e[i]
+					if nt[v] != graph.NilVertex {
+						if nt[v] != gv {
+							ok = false
+							break
+						}
+						continue
+					}
+					// Injectivity against every bound position.
+					for w := 0; w < n && ok; w++ {
+						if nt[w] == gv {
+							ok = false
+						}
+					}
+					if !ok {
+						break
+					}
+					nt[v] = gv
+				}
+				if ok {
+					next = append(next, nt)
+				}
+			}
+		}
+		cur = next
+		for _, v := range u.verts {
+			bound[v] = true
+		}
+		res.observe(int64(len(cur)))
+		if maxPartials > 0 && int64(len(cur)) > maxPartials {
+			return nil, fmt.Errorf("seed: partial relation exceeded budget (%d tuples)", len(cur))
+		}
+	}
+
+	// Each instance was produced once per automorphism.
+	aut := int64(pattern.NumAutomorphisms(p))
+	res.Count = int64(len(cur)) / aut
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+func (r *Result) observe(n int64) {
+	if n > r.PeakPartials {
+		r.PeakPartials = n
+	}
+}
+
+// decompose greedily covers the pattern's edges with triangles, then single
+// edges, keeping the plan connected.
+func decompose(p *pattern.Pattern) []unit {
+	n := p.NumVertices()
+	covered := map[[2]int]bool{}
+	cover := func(a, b int) {
+		if a > b {
+			a, b = b, a
+		}
+		covered[[2]int{a, b}] = true
+	}
+	isCovered := func(a, b int) bool {
+		if a > b {
+			a, b = b, a
+		}
+		return covered[[2]int{a, b}]
+	}
+	var units []unit
+	inPlan := make([]bool, n)
+	connected := func(vs []int) bool {
+		if len(units) == 0 {
+			return true
+		}
+		for _, v := range vs {
+			if inPlan[v] {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(vs []int) {
+		units = append(units, unit{verts: vs})
+		for _, v := range vs {
+			inPlan[v] = true
+		}
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if p.HasEdge(vs[i], vs[j]) {
+					cover(vs[i], vs[j])
+				}
+			}
+		}
+	}
+	// Triangles first.
+	for progress := true; progress; {
+		progress = false
+		for a := 0; a < n && !progress; a++ {
+			for b := a + 1; b < n && !progress; b++ {
+				for c := b + 1; c < n && !progress; c++ {
+					if p.HasEdge(a, b) && p.HasEdge(b, c) && p.HasEdge(a, c) &&
+						(!isCovered(a, b) || !isCovered(b, c) || !isCovered(a, c)) &&
+						connected([]int{a, b, c}) {
+						add([]int{a, b, c})
+						progress = true
+					}
+				}
+			}
+		}
+	}
+	// Remaining edges.
+	for progress := true; progress; {
+		progress = false
+		for a := 0; a < n && !progress; a++ {
+			for b := a + 1; b < n && !progress; b++ {
+				if p.HasEdge(a, b) && !isCovered(a, b) && connected([]int{a, b}) {
+					add([]int{a, b})
+					progress = true
+				}
+			}
+		}
+	}
+	return units
+}
+
+// matchUnit enumerates the assignments of one unit consistent with the
+// partial tuple t on the shared pattern vertices. Each returned slice is
+// aligned with u.verts.
+func matchUnit(g *graph.Graph, p *pattern.Pattern, u unit, t []graph.VertexID, shared []int) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	assign := make([]graph.VertexID, len(u.verts))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(u.verts) {
+			out = append(out, append([]graph.VertexID(nil), assign...))
+			return
+		}
+		pv := u.verts[i]
+		// Bound by the existing tuple?
+		if t != nil && containsInt(shared, pv) {
+			assign[i] = t[pv]
+			if unitConsistent(g, p, u, assign, i) {
+				rec(i + 1)
+			}
+			return
+		}
+		// Prefer extending through an already-assigned pattern neighbor so
+		// candidates come from an adjacency list, not the whole vertex set.
+		anchor := -1
+		for j := 0; j < i; j++ {
+			if p.HasEdge(pv, u.verts[j]) {
+				anchor = j
+				break
+			}
+		}
+		try := func(gv graph.VertexID) {
+			if l := p.VertexLabel(pv); l != pattern.NoLabel && !graph.ContainsLabel(g.VertexLabels(gv), l) {
+				return
+			}
+			for j := 0; j < i; j++ {
+				if assign[j] == gv {
+					return
+				}
+			}
+			assign[i] = gv
+			if unitConsistent(g, p, u, assign, i) {
+				rec(i + 1)
+			}
+		}
+		if anchor >= 0 {
+			var last graph.VertexID = graph.NilVertex
+			for _, gv := range g.Neighbors(assign[anchor]) {
+				if gv != last { // parallel edges repeat neighbors
+					try(gv)
+					last = gv
+				}
+			}
+			return
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			try(graph.VertexID(v))
+		}
+	}
+	rec(0)
+	return out
+}
+
+// unitConsistent checks pattern edges among the first i+1 unit vertices.
+func unitConsistent(g *graph.Graph, p *pattern.Pattern, u unit, assign []graph.VertexID, i int) bool {
+	for j := 0; j < i; j++ {
+		if p.HasEdge(u.verts[i], u.verts[j]) && !g.HasEdge(assign[i], assign[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Triangles lists triangles through the single-thread intersection counter
+// (SEED's own base relation).
+func Triangles(g *graph.Graph) int64 {
+	return singlethread.Triangles(g).Count
+}

@@ -1,0 +1,116 @@
+package seed
+
+import (
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+func k4p() *graph.Graph {
+	b := graph.NewBuilder("k4p")
+	for i := 0; i < 5; i++ {
+		b.AddVertex()
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	b.MustAddEdge(3, 4)
+	return b.Build()
+}
+
+func TestQueryKnownCounts(t *testing.T) {
+	g := k4p()
+	cases := []struct {
+		name string
+		p    *pattern.Pattern
+		want int64
+	}{
+		{"triangle", pattern.Triangle(), 4},
+		{"square", pattern.Cycle(4), 3},
+		{"diamond", pattern.ChordalSquare(), 6},
+		{"clique4", pattern.Clique(4), 1},
+		// Σ_v C(deg(v),2) = 3+3+3+6+0 over the k4p degrees.
+		{"path3", pattern.Path(3), 15},
+	}
+	for _, c := range cases {
+		r, err := Query(g, c.p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if r.Count != c.want {
+			t.Errorf("%s: count=%d, want %d", c.name, r.Count, c.want)
+		}
+		if r.Units == 0 || r.Wall < 0 {
+			t.Errorf("%s: bad metadata %+v", c.name, r)
+		}
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	// A triangle decomposes into exactly one triangle unit.
+	u := decompose(pattern.Triangle())
+	if len(u) != 1 || len(u[0].verts) != 3 {
+		t.Errorf("triangle plan=%v", u)
+	}
+	// A square has no triangles: edge units only, and connected order.
+	u = decompose(pattern.Cycle(4))
+	if len(u) != 4 {
+		t.Errorf("square plan has %d units, want 4 edges", len(u))
+	}
+	// Every edge of the pattern must be covered by the plan.
+	for _, p := range pattern.SEEDQueries() {
+		units := decompose(p)
+		covered := map[[2]int]bool{}
+		for _, un := range units {
+			for i := 0; i < len(un.verts); i++ {
+				for j := i + 1; j < len(un.verts); j++ {
+					a, b := un.verts[i], un.verts[j]
+					if p.HasEdge(a, b) {
+						if a > b {
+							a, b = b, a
+						}
+						covered[[2]int{a, b}] = true
+					}
+				}
+			}
+		}
+		if len(covered) != p.NumEdges() {
+			t.Errorf("plan covers %d of %d edges for %v", len(covered), p.NumEdges(), p)
+		}
+	}
+}
+
+func TestLabeledQuery(t *testing.T) {
+	b := graph.NewBuilder("lab")
+	v0 := b.AddVertex(1)
+	v1 := b.AddVertex(2)
+	v2 := b.AddVertex(1)
+	b.MustAddEdge(v0, v1)
+	b.MustAddEdge(v1, v2)
+	g := b.Build()
+
+	q := pattern.NewBuilder(2).SetVertexLabel(0, 1).SetVertexLabel(1, 2).
+		AddEdge(0, 1, pattern.NoLabel).Build()
+	r, err := Query(g, q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 2 {
+		t.Errorf("labeled query=%d, want 2", r.Count)
+	}
+}
+
+func TestPartialBudget(t *testing.T) {
+	if _, err := Query(k4p(), pattern.Path(3), 1); err == nil {
+		t.Error("partial budget not enforced")
+	}
+}
+
+func TestTooSmallPattern(t *testing.T) {
+	if _, err := Query(k4p(), pattern.NewBuilder(1).Build(), 0); err == nil {
+		t.Error("1-vertex pattern accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package singlethread
+
+import (
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+// k4p builds a 4-clique plus pendant (4 triangles, one 4-clique).
+func k4p() *graph.Graph {
+	b := graph.NewBuilder("k4p")
+	for i := 0; i < 5; i++ {
+		b.AddVertex()
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	b.MustAddEdge(3, 4)
+	return b.Build()
+}
+
+func TestMotifsESU(t *testing.T) {
+	counts, r := Motifs(k4p(), 3)
+	if r.Count != 7 { // 4 triangles + 3 induced paths
+		t.Errorf("total=%d, want 7", r.Count)
+	}
+	if len(counts) != 2 {
+		t.Errorf("classes=%d, want 2", len(counts))
+	}
+	var got []int64
+	for _, c := range counts {
+		got = append(got, c)
+	}
+	if !(got[0] == 4 && got[1] == 3 || got[0] == 3 && got[1] == 4) {
+		t.Errorf("counts=%v, want {3,4}", got)
+	}
+}
+
+func TestCliquesKClist(t *testing.T) {
+	g := k4p()
+	want := map[int]int64{1: 5, 2: 7, 3: 4, 4: 1, 5: 0}
+	for k, n := range want {
+		if got := Cliques(g, k).Count; got != n {
+			t.Errorf("%d-cliques=%d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestTrianglesIntersection(t *testing.T) {
+	if got := Triangles(k4p()).Count; got != 4 {
+		t.Errorf("triangles=%d, want 4", got)
+	}
+	// Empty graph.
+	if got := Triangles(graph.NewBuilder("e").Build()).Count; got != 0 {
+		t.Errorf("triangles of empty graph=%d", got)
+	}
+}
+
+func TestQueryMatcher(t *testing.T) {
+	g := k4p()
+	r, err := Query(g, pattern.Triangle())
+	if err != nil || r.Count != 4 {
+		t.Errorf("triangle query=%d,%v, want 4", r.Count, err)
+	}
+	r, err = Query(g, pattern.Cycle(4))
+	if err != nil || r.Count != 3 {
+		t.Errorf("square query=%d,%v, want 3", r.Count, err)
+	}
+	if _, err := Query(g, pattern.NewBuilder(0).Build()); err == nil {
+		t.Error("empty pattern accepted")
+	}
+}
+
+func TestQueryLabeled(t *testing.T) {
+	b := graph.NewBuilder("lab")
+	v0 := b.AddVertex(1)
+	v1 := b.AddVertex(2)
+	v2 := b.AddVertex(1)
+	b.MustAddEdge(v0, v1, 7)
+	b.MustAddEdge(v1, v2, 8)
+	g := b.Build()
+
+	q := pattern.NewBuilder(2).SetVertexLabel(0, 1).SetVertexLabel(1, 2).
+		AddEdge(0, 1, 7).Build()
+	r, err := Query(g, q)
+	if err != nil || r.Count != 1 {
+		t.Errorf("labeled query=%d,%v, want 1", r.Count, err)
+	}
+}
+
+func TestFSMSingleThread(t *testing.T) {
+	// Three disjoint A-A edges: one frequent pattern at threshold 2.
+	b := graph.NewBuilder("fsm")
+	for i := 0; i < 3; i++ {
+		u := b.AddVertex(1)
+		v := b.AddVertex(1)
+		b.MustAddEdge(u, v)
+	}
+	g := b.Build()
+	freq, r := FSM(g, 2, 2)
+	if len(freq) != 1 || r.Count != 1 {
+		t.Errorf("frequent=%d, want 1", len(freq))
+	}
+	for _, ds := range freq {
+		if ds.Support() != 3 {
+			t.Errorf("support=%d, want 3", ds.Support())
+		}
+	}
+	// Nothing frequent at a high threshold.
+	freq, _ = FSM(g, 10, 2)
+	if len(freq) != 0 {
+		t.Errorf("frequent=%d at threshold 10, want 0", len(freq))
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	a := []graph.VertexID{1, 3, 5, 7}
+	b := []graph.VertexID{2, 3, 6, 7, 9}
+	got := intersectSorted(a, b)
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("intersect=%v, want [3 7]", got)
+	}
+	if len(intersectSorted(a, nil)) != 0 {
+		t.Error("intersect with empty should be empty")
+	}
+}

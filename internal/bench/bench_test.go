@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// All experiments must run cleanly in Quick mode and produce output rows.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Options{Out: &buf, Quick: true}); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if strings.Count(buf.String(), "\n") < 2 {
+				t.Errorf("%s produced too little output:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if err := RunExperiment("nope", Options{Quick: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentByID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("table1", Options{Out: &buf, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mico") {
+		t.Error("table1 output missing datasets")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if bytesHuman(512) != "512B" || bytesHuman(2048) != "2.00KB" ||
+		bytesHuman(3<<20) != "3.00MB" || bytesHuman(5<<30) != "5.00GB" {
+		t.Error("bytesHuman wrong")
+	}
+	if ratio(0, 0) != "-" {
+		t.Error("ratio zero handling wrong")
+	}
+	if got := sortedKeys(map[string]int{"b": 1, "a": 2}); got[0] != "a" || got[1] != "b" {
+		t.Errorf("sortedKeys=%v", got)
+	}
+	if (Options{}).out() == nil {
+		t.Error("nil Out must fall back to a writer")
+	}
+}

@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fractal"
+	"fractal/internal/apps"
+	"fractal/internal/baselines/bfsengine"
+	"fractal/internal/graph"
+	"fractal/internal/workload"
+)
+
+// Fig8 shows the raw load imbalance of plain pipelining: 4-cliques with all
+// work stealing disabled; each core keeps its initial partition. The paper's
+// utilization-over-time chart is summarized by the per-core work
+// distribution and the resulting utilization (= parallel efficiency).
+func Fig8(o Options) error {
+	g, err := o.dataset("patents-sl")
+	if err != nil {
+		return err
+	}
+	cores := 16
+	if o.Quick {
+		cores = 8
+	}
+	run := func(ws fractal.Config) (*fractal.Result, error) {
+		ctx, err := newCtx(1, cores, ws)
+		if err != nil {
+			return nil, err
+		}
+		defer ctx.Close()
+		_, res, err := apps.Cliques(ctx, ctx.FromGraph(g), 4)
+		return res, err
+	}
+	res, err := run(fractal.Config{WS: fractal.WSNone})
+	if err != nil {
+		return err
+	}
+	resWS, err := run(fractal.Config{WS: fractal.WSInternal})
+	if err != nil {
+		return err
+	}
+	tw := table(o.out())
+	fmt.Fprintln(tw, "config\tcores\tutilization\twork balance\tsteals\tper-core work (sorted desc)")
+	for _, row := range []struct {
+		name string
+		r    *fractal.Result
+	}{{"no-balancing", res}, {"with-WSint", resWS}} {
+		s := row.r.Steps[len(row.r.Steps)-1]
+		fmt.Fprintf(tw, "%s\t%d\t%.0f%%\t%.0f%%\t%d\t%v\n",
+			row.name, s.Balance.Cores, 100*s.Utilization, 100*s.Balance.Efficiency,
+			s.StealsInternal, s.Balance.PerCore)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(o.out(), "note: on hosts with fewer hardware threads than cores, thieves only run when")
+	fmt.Fprintln(o.out(), "the straggler is preempted, so utilization gains and steal counts vary widely;")
+	fmt.Fprintln(o.out(), "the raw per-core skew of the no-balancing row is the figure's stable signal.")
+	return nil
+}
+
+// Table2 compares intermediate-state memory per worker: Fractal's enumerator
+// stacks vs the Arabesque-style materialized levels, for cliques
+// (youtube-ml) and motifs (mico-ml) across depths.
+func Table2(o Options) error {
+	ctx, err := newCtx(1, comparisonCores, fractal.Config{WS: fractal.WSBoth})
+	if err != nil {
+		return err
+	}
+	defer ctx.Close()
+	type cfg struct {
+		app     string
+		dataset string
+		ks      []int
+	}
+	cases := []cfg{
+		{"cliques", "youtube-ml", []int{3, 4, 5, 6}},
+		{"motifs", "mico-ml", []int{3, 4, 5}},
+	}
+	if o.Quick {
+		cases = []cfg{
+			{"cliques", "youtube-ml", []int{3, 4}},
+			{"motifs", "mico-ml", []int{3}},
+		}
+	}
+	tw := table(o.out())
+	fmt.Fprintln(tw, "app/dataset\t|V|\tarabesque state\tfractal state\treduction")
+	for _, c := range cases {
+		g, err := o.dataset(c.dataset)
+		if err != nil {
+			return err
+		}
+		fg := ctx.FromGraph(g)
+		for _, k := range c.ks {
+			var fres *fractal.Result
+			if c.app == "cliques" {
+				_, fres, err = apps.Cliques(ctx, fg, k)
+			} else {
+				if c.app == "motifs" && k == 5 && !o.Quick {
+					// Depth 5 on the multi-labeled analog is the case the
+					// paper reports as a ~50x blowup; cap the BFS side with
+					// the budget below and measure Fractal exactly.
+					_ = k
+				}
+				_, fres, err = apps.Motifs(ctx, fg, k)
+			}
+			if err != nil {
+				return err
+			}
+			var fracState int64
+			for _, s := range fres.Steps {
+				if s.PeakStateBytes > fracState {
+					fracState = s.PeakStateBytes
+				}
+			}
+
+			var arabState int64
+			arabCell := ""
+			var bErr error
+			if c.app == "cliques" {
+				var r *bfsengine.Result
+				r, bErr = bfsengine.Cliques(g, k, comparisonCores, 4*o.memBudget())
+				if bErr == nil {
+					arabState = r.PeakStateBytes
+				}
+			} else {
+				var r *bfsengine.Result
+				_, r, bErr = bfsengine.Motifs(g, k, comparisonCores, 4*o.memBudget())
+				if bErr == nil {
+					arabState = r.PeakStateBytes
+				}
+			}
+			switch {
+			case bErr == nil:
+				arabCell = bytesHuman(arabState)
+			case errors.Is(bErr, bfsengine.ErrOutOfMemory):
+				arabCell = "OOM(>" + bytesHuman(4*o.memBudget()) + ")"
+				arabState = 4 * o.memBudget()
+			default:
+				return bErr
+			}
+			red := "-"
+			if fracState > 0 {
+				red = fmt.Sprintf("%.1f×", float64(arabState)/float64(fracState))
+			}
+			fmt.Fprintf(tw, "%s/%s\t%d\t%s\t%s\t%s\n",
+				c.app, c.dataset, k, arabCell, bytesHuman(fracState), red)
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig16 runs FSM under the four work-stealing configurations and reports
+// the per-step balance (the per-task runtimes of the paper's figure are
+// summarized by makespan, mean, and efficiency).
+func Fig16(o Options) error {
+	g, err := o.dataset("patents-ml")
+	if err != nil {
+		return err
+	}
+	supp := o.fsmSupports("patents-ml")[1]
+	maxEdges := 3
+	if o.Quick {
+		maxEdges = 2
+	}
+	configs := []struct {
+		name string
+		ws   fractal.Config
+	}{
+		{"1.Disabled", fractal.Config{WS: fractal.WSNone}},
+		{"2.Internal", fractal.Config{WS: fractal.WSInternal}},
+		{"3.External", fractal.Config{WS: fractal.WSExternal}},
+		{"4.Internal+External", fractal.Config{WS: fractal.WSBoth}},
+	}
+	tw := table(o.out())
+	fmt.Fprintln(tw, "config\tstep\tworkflow\tutilization\tbalance\tsteals(int/ext)\twall")
+	for _, c := range configs {
+		ctx, err := newCtx(2, 4, c.ws)
+		if err != nil {
+			return err
+		}
+		res, err := apps.FSM(ctx, ctx.FromGraph(g), supp, apps.FSMOptions{MaxEdges: maxEdges})
+		ctx.Close()
+		if err != nil {
+			return err
+		}
+		step := 0
+		for _, s := range res.Steps {
+			if s.Skipped {
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%.0f%%\t%.2f\t%d/%d\t%s\n",
+				c.name, step, s.Workflow, 100*s.Utilization,
+				s.Balance.Efficiency, s.StealsInternal, s.StealsExternal, ms(s.Wall))
+			step++
+		}
+	}
+	return tw.Flush()
+}
+
+// Fig17 evaluates graph reduction for keyword search: Q1/Q2 with and
+// without the reduced graph G0, Q3/Q4 reduction-only, sweeping cores.
+func Fig17(o Options) error {
+	g, err := o.dataset("wikidata")
+	if err != nil {
+		return err
+	}
+	queries := workload.KeywordQueries()
+	coresSweep := []int{1, 2, 4, 8}
+	if o.Quick {
+		coresSweep = []int{1, 2}
+	}
+	tw := table(o.out())
+	fmt.Fprintln(tw, "query\tgraph\tcores\tmatches\tEC\twall\tefficiency")
+	for qi, q := range queries {
+		for _, reduce := range []bool{false, true} {
+			if reduce == false && qi >= 2 && !o.Quick {
+				// Q3/Q4 without reduction time out in the paper; the analog
+				// is merely slow, but we follow the paper and skip it.
+				continue
+			}
+			for _, cores := range coresSweep {
+				ctx, err := newCtx(1, cores, fractal.Config{WS: fractal.WSBoth})
+				if err != nil {
+					return err
+				}
+				res, err := apps.KeywordSearch(ctx, ctx.FromGraph(g), q.Keywords,
+					apps.KeywordOptions{GraphReduction: reduce})
+				ctx.Close()
+				if err != nil {
+					return err
+				}
+				eff := stepsEfficiency(res.Result.Steps)
+				gname := "G"
+				if reduce {
+					gname = "G0"
+				}
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%.2f\n",
+					q.Name, gname, cores, res.Matches, res.EC, ms(res.Result.Wall), eff)
+			}
+		}
+	}
+	return tw.Flush()
+}
+
+// Sec41 reproduces the Section 4.1 motivating estimate: the memory needed
+// to materialize all vertex-induced subgraphs of the Mico analog by depth,
+// computed from exact counts up to depth 4 and a growth-rate extrapolation
+// for depth 5 (as the paper's own numbers are estimates).
+func Sec41(o Options) error {
+	g, err := o.dataset("mico-sl")
+	if err != nil {
+		return err
+	}
+	ctx, err := newCtx(1, comparisonCores, fractal.Config{WS: fractal.WSBoth})
+	if err != nil {
+		return err
+	}
+	defer ctx.Close()
+	fg := ctx.FromGraph(g)
+	counts := map[int]int64{}
+	maxExact := 4
+	if o.Quick {
+		maxExact = 3
+	}
+	for k := 2; k <= maxExact; k++ {
+		n, _, err := fg.VFractoid().Expand(k).Count()
+		if err != nil {
+			return err
+		}
+		counts[k] = n
+	}
+	if counts[maxExact-1] > 0 {
+		growth := float64(counts[maxExact]) / float64(counts[maxExact-1])
+		counts[maxExact+1] = int64(float64(counts[maxExact]) * growth)
+	}
+	tw := table(o.out())
+	fmt.Fprintln(tw, "k\tsubgraphs\tbytes (4B/vertex, ids only)\tnote")
+	for k := 2; k <= maxExact+1; k++ {
+		note := "exact"
+		if k == maxExact+1 {
+			note = "extrapolated"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%s\n", k, counts[k], bytesHuman(counts[k]*int64(4*k)), note)
+	}
+	return tw.Flush()
+}
+
+// Sec43 reproduces the Section 4.3 motivating numbers: vertex, edge, and
+// extension-cost reduction of keyword queries on the reduced graph.
+func Sec43(o Options) error {
+	g, err := o.dataset("wikidata")
+	if err != nil {
+		return err
+	}
+	ctx, err := newCtx(1, comparisonCores, fractal.Config{WS: fractal.WSBoth})
+	if err != nil {
+		return err
+	}
+	defer ctx.Close()
+	fg := ctx.FromGraph(g)
+	tw := table(o.out())
+	fmt.Fprintln(tw, "query\tV reduction\tE reduction\tEC reduction")
+	for _, q := range workload.KeywordQueries()[:2] {
+		full, err := apps.KeywordSearch(ctx, fg, q.Keywords, apps.KeywordOptions{})
+		if err != nil {
+			return err
+		}
+		red, err := apps.KeywordSearch(ctx, fg, q.Keywords, apps.KeywordOptions{GraphReduction: true})
+		if err != nil {
+			return err
+		}
+		pct := func(before, after int64) string {
+			if before == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f%%", 100*(1-float64(after)/float64(before)))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", q.Name,
+			pct(int64(full.GraphV), int64(red.GraphV)),
+			pct(int64(full.GraphE), int64(red.GraphE)),
+			pct(full.EC, red.EC))
+	}
+	return tw.Flush()
+}
+
+// Sec6 measures the work-stealing overhead (steal time / busy time) across
+// kernels, and the cliques case where graph reduction does not pay off.
+func Sec6(o Options) error {
+	ctx, err := newCtx(2, 4, fractal.Config{WS: fractal.WSBoth})
+	if err != nil {
+		return err
+	}
+	defer ctx.Close()
+	tw := table(o.out())
+	fmt.Fprintln(tw, "kernel\tsteal overhead")
+	overheads := []float64{}
+	run := func(name string, res []fractal.StepReport, err error) error {
+		if err != nil {
+			return err
+		}
+		var ov float64
+		n := 0
+		for _, s := range res {
+			if !s.Skipped {
+				ov += s.StealOverhead
+				n++
+			}
+		}
+		if n > 0 {
+			ov /= float64(n)
+		}
+		overheads = append(overheads, ov)
+		fmt.Fprintf(tw, "%s\t%.2f%%\n", name, 100*ov)
+		return nil
+	}
+	g1, err := o.dataset("mico-sl")
+	if err != nil {
+		return err
+	}
+	_, r1, err := apps.Cliques(ctx, ctx.FromGraph(g1), 4)
+	if err := run("cliques(mico-sl,4)", r1.Steps, err); err != nil {
+		return err
+	}
+	_, r2, err := apps.Motifs(ctx, ctx.FromGraph(g1), 3)
+	if err := run("motifs(mico-sl,3)", r2.Steps, err); err != nil {
+		return err
+	}
+	var mean float64
+	for _, ov := range overheads {
+		mean += ov
+	}
+	mean /= float64(len(overheads))
+	fmt.Fprintf(tw, "mean\t%.2f%%\n", 100*mean)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Graph reduction that does not pay off: reduce mico to the vertices and
+	// edges participating in at least one triangle; EC stays essentially the
+	// same because enumeration dominates (Section 6).
+	fg := ctx.FromGraph(g1)
+	_, full, err := apps.Cliques(ctx, fg, 3)
+	if err != nil {
+		return err
+	}
+	inTriangle := map[int32]bool{}
+	var mu sync.Mutex
+	_, err = fg.VFractoid().Expand(3).Filter(fractal.CliqueFilter).Subgraphs(func(e *fractal.Subgraph) {
+		mu.Lock()
+		for _, v := range e.Vertices() {
+			inTriangle[int32(v)] = true
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return err
+	}
+	reduced := fg.VFilter(func(v graph.VertexID, gr *graph.Graph) bool { return inTriangle[int32(v)] })
+	_, redRes, err := apps.Cliques(ctx, reduced, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.out(),
+		"cliques reduction: V %d->%d, EC %d->%d (reduction shrinks the graph, not the EC)\n",
+		fg.Stats().V, reduced.Stats().V, full.TotalEC(), redRes.TotalEC())
+	return nil
+}
+
+// stepsEfficiency averages the CPU utilization of executed steps.
+func stepsEfficiency(steps []fractal.StepReport) float64 {
+	var sum float64
+	n := 0
+	for _, s := range steps {
+		if !s.Skipped {
+			sum += s.Utilization
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,200 @@
+// Package enumerator implements the SubgraphEnumerator abstraction of
+// Figure 7 of the Fractal paper and the per-core enumerator stacks that the
+// hierarchical work-stealing mechanism of Section 4.2 operates on.
+//
+// An Enumerator is identified by an enumeration prefix (the subgraph under
+// extension) and holds the precomputed extension candidates of that prefix.
+// Consumption of extensions is thread-safe and constitutes the only critical
+// section shared between an owning core and thieves, which keeps stealing
+// overhead low (Section 6 reports ~1%).
+package enumerator
+
+import (
+	"sync"
+
+	"fractal/internal/subgraph"
+)
+
+// Word re-exports the extension unit for convenience.
+type Word = subgraph.Word
+
+// Enumerator holds one enumeration prefix and its remaining extensions.
+// Take and StealOne may be called concurrently; everything else is owned by
+// the constructing core.
+type Enumerator struct {
+	mu     sync.Mutex
+	prefix []Word
+	exts   []Word
+	next   int
+
+	// Depth-0 enumerators iterate an implicit strided slice of the initial
+	// domain instead of a materialized extension list.
+	root   bool
+	cursor int32
+	limit  int32
+	stride int32
+}
+
+// New returns an enumerator for the given prefix and extension candidates.
+// The enumerator takes ownership of both slices.
+func New(prefix []Word, exts []Word) *Enumerator {
+	return &Enumerator{prefix: prefix, exts: exts}
+}
+
+// NewRoot returns the depth-0 enumerator of a core: it yields the initial
+// extension words {coreID, coreID+totalCores, ...} below domain, the
+// on-the-fly partition of the input graph described in Section 4
+// ("Scheduling and execution").
+func NewRoot(coreID, totalCores, domain int) *Enumerator {
+	return &Enumerator{
+		root:   true,
+		cursor: int32(coreID),
+		limit:  int32(domain),
+		stride: int32(totalCores),
+	}
+}
+
+// Prefix returns the enumeration prefix. The slice is immutable after
+// construction and safe to read concurrently.
+func (e *Enumerator) Prefix() []Word { return e.prefix }
+
+// Depth returns the number of words in the prefix.
+func (e *Enumerator) Depth() int { return len(e.prefix) }
+
+// Take consumes and returns the next extension. ok is false when the
+// enumerator is exhausted.
+func (e *Enumerator) Take() (w Word, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.root {
+		if e.cursor >= e.limit {
+			return 0, false
+		}
+		w = e.cursor
+		e.cursor += e.stride
+		return w, true
+	}
+	if e.next >= len(e.exts) {
+		return 0, false
+	}
+	w = e.exts[e.next]
+	e.next++
+	return w, true
+}
+
+// Remaining returns the (instantaneous) number of unconsumed extensions.
+func (e *Enumerator) Remaining() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.root {
+		if e.cursor >= e.limit {
+			return 0
+		}
+		return int((e.limit-e.cursor-1)/e.stride) + 1
+	}
+	return len(e.exts) - e.next
+}
+
+// StealOne consumes one extension on behalf of a thief and returns the full
+// stolen prefix (this enumerator's prefix plus the taken word) as a fresh
+// slice the thief may keep. This is the extend() of Figure 7 applied by a
+// non-owner: the subgraph prefix is copied and the extension consumption is
+// the short critical section shared with the owner.
+func (e *Enumerator) StealOne() (stolen []Word, ok bool) {
+	w, ok := e.Take()
+	if !ok {
+		return nil, false
+	}
+	stolen = make([]Word, len(e.prefix)+1)
+	copy(stolen, e.prefix)
+	stolen[len(e.prefix)] = w
+	return stolen, true
+}
+
+// Stack is the per-core stack of live enumerators, one per extension level
+// (the depth-first state of Algorithm 1). The owning core pushes and pops;
+// thieves scan it bottom-up to steal the shallowest available work, which
+// maximizes the size of the stolen subtree.
+type Stack struct {
+	mu     sync.Mutex
+	levels []*Enumerator
+}
+
+// Push appends a level.
+func (s *Stack) Push(e *Enumerator) {
+	s.mu.Lock()
+	s.levels = append(s.levels, e)
+	s.mu.Unlock()
+}
+
+// Pop removes the top level.
+func (s *Stack) Pop() {
+	s.mu.Lock()
+	s.levels = s.levels[:len(s.levels)-1]
+	s.mu.Unlock()
+}
+
+// Top returns the top level, or nil when empty.
+func (s *Stack) Top() *Enumerator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.levels) == 0 {
+		return nil
+	}
+	return s.levels[len(s.levels)-1]
+}
+
+// Depth returns the number of live levels.
+func (s *Stack) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.levels)
+}
+
+// Clear drops all levels (end of a step).
+func (s *Stack) Clear() {
+	s.mu.Lock()
+	s.levels = s.levels[:0]
+	s.mu.Unlock()
+}
+
+// StealShallowest scans levels bottom-up and steals one extension from the
+// first enumerator that still has work, returning the stolen prefix.
+func (s *Stack) StealShallowest() (stolen []Word, ok bool) {
+	s.mu.Lock()
+	snapshot := append([]*Enumerator(nil), s.levels...)
+	s.mu.Unlock()
+	for _, e := range snapshot {
+		if st, ok := e.StealOne(); ok {
+			return st, true
+		}
+	}
+	return nil, false
+}
+
+// StateBytes estimates the live memory of the stack: 4 bytes per prefix
+// word and per unconsumed extension across all levels. This is Fractal's
+// entire per-core intermediate state (Section 4.1, Table 2).
+func (s *Stack) StateBytes() int64 {
+	s.mu.Lock()
+	snapshot := append([]*Enumerator(nil), s.levels...)
+	s.mu.Unlock()
+	var total int64
+	for _, e := range snapshot {
+		total += int64(4 * (len(e.prefix) + e.Remaining()))
+	}
+	return total
+}
+
+// HasWork reports whether any level has unconsumed extensions.
+func (s *Stack) HasWork() bool {
+	s.mu.Lock()
+	snapshot := append([]*Enumerator(nil), s.levels...)
+	s.mu.Unlock()
+	for _, e := range snapshot {
+		if e.Remaining() > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	name      string
+	vlabels   [][]Label
+	edges     []Edge
+	dict      *Dictionary
+	vkeywords [][]Label
+	ekeywords [][]Label
+	hasKW     bool
+}
+
+// NewBuilder returns a Builder for a graph with the given dataset name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, dict: NewDictionary()}
+}
+
+// Dict returns the builder's label dictionary so callers can intern labels.
+func (b *Builder) Dict() *Dictionary { return b.dict }
+
+// AddVertex adds a vertex with the given labels and returns its ID.
+func (b *Builder) AddVertex(labels ...Label) VertexID {
+	id := VertexID(len(b.vlabels))
+	b.vlabels = append(b.vlabels, normLabels(labels))
+	b.vkeywords = append(b.vkeywords, nil)
+	return id
+}
+
+// SetVertexLabels replaces the label set of v.
+func (b *Builder) SetVertexLabels(v VertexID, labels ...Label) {
+	b.vlabels[v] = normLabels(labels)
+}
+
+// EnsureVertices grows the vertex set so that IDs [0,n) exist, adding
+// unlabeled vertices as needed.
+func (b *Builder) EnsureVertices(n int) {
+	for len(b.vlabels) < n {
+		b.AddVertex()
+	}
+}
+
+// AddEdge adds an undirected edge between u and v with the given labels and
+// returns its ID. Self-loops are rejected with an error, matching
+// Definition 1 of the paper.
+func (b *Builder) AddEdge(u, v VertexID, labels ...Label) (EdgeID, error) {
+	if u == v {
+		return NilEdge, fmt.Errorf("graph: self-loop on vertex %d rejected", u)
+	}
+	if int(u) >= len(b.vlabels) || int(v) >= len(b.vlabels) || u < 0 || v < 0 {
+		return NilEdge, fmt.Errorf("graph: edge (%d,%d) references unknown vertex", u, v)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	id := EdgeID(len(b.edges))
+	b.edges = append(b.edges, Edge{Src: u, Dst: v, Labels: normLabels(labels)})
+	b.ekeywords = append(b.ekeywords, nil)
+	return id, nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for tests and
+// generators that construct edges from known-valid IDs.
+func (b *Builder) MustAddEdge(u, v VertexID, labels ...Label) EdgeID {
+	id, err := b.AddEdge(u, v, labels...)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// SetVertexKeywords attaches a keyword set to v.
+func (b *Builder) SetVertexKeywords(v VertexID, kws ...Label) {
+	b.vkeywords[v] = normLabels(kws)
+	b.hasKW = true
+}
+
+// SetEdgeKeywords attaches a keyword set to edge id.
+func (b *Builder) SetEdgeKeywords(id EdgeID, kws ...Label) {
+	b.ekeywords[id] = normLabels(kws)
+	b.hasKW = true
+}
+
+// NumVertices returns the number of vertices added so far.
+func (b *Builder) NumVertices() int { return len(b.vlabels) }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build freezes the builder into an immutable Graph with CSR adjacency.
+// The builder may be reused afterwards, but further mutation does not affect
+// the built Graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.vlabels)
+	g := &Graph{
+		name:    b.name,
+		vlabels: append([][]Label(nil), b.vlabels...),
+		edges:   append([]Edge(nil), b.edges...),
+		dict:    b.dict,
+	}
+	deg := make([]int32, n+1)
+	for _, e := range g.edges {
+		deg[e.Src+1]++
+		deg[e.Dst+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	g.adjOff = deg
+	m := len(g.edges)
+	g.adjV = make([]VertexID, 2*m)
+	g.adjE = make([]EdgeID, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, g.adjOff[:n])
+	for id, e := range g.edges {
+		i := cursor[e.Src]
+		g.adjV[i], g.adjE[i] = e.Dst, EdgeID(id)
+		cursor[e.Src]++
+		j := cursor[e.Dst]
+		g.adjV[j], g.adjE[j] = e.Src, EdgeID(id)
+		cursor[e.Dst]++
+	}
+	// Sort each adjacency run by (neighbor, edge id) to enable binary search.
+	for v := 0; v < n; v++ {
+		lo, hi := g.adjOff[v], g.adjOff[v+1]
+		run := adjRun{v: g.adjV[lo:hi], e: g.adjE[lo:hi]}
+		sort.Sort(run)
+	}
+	g.numLabel = b.countLabels()
+	if b.hasKW {
+		g.vkeywords = append([][]Label(nil), b.vkeywords...)
+		g.ekeywords = append([][]Label(nil), b.ekeywords...)
+	}
+	return g
+}
+
+func (b *Builder) countLabels() int {
+	seen := map[Label]struct{}{}
+	for _, ls := range b.vlabels {
+		for _, l := range ls {
+			seen[l] = struct{}{}
+		}
+	}
+	for _, e := range b.edges {
+		for _, l := range e.Labels {
+			seen[l] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+type adjRun struct {
+	v []VertexID
+	e []EdgeID
+}
+
+func (r adjRun) Len() int { return len(r.v) }
+func (r adjRun) Less(i, j int) bool {
+	if r.v[i] != r.v[j] {
+		return r.v[i] < r.v[j]
+	}
+	return r.e[i] < r.e[j]
+}
+func (r adjRun) Swap(i, j int) {
+	r.v[i], r.v[j] = r.v[j], r.v[i]
+	r.e[i], r.e[j] = r.e[j], r.e[i]
+}
+
+// normLabels sorts and deduplicates a label set; empty sets become nil.
+func normLabels(ls []Label) []Label {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := append([]Label(nil), ls...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// ContainsLabel reports whether sorted label set ls contains l.
+func ContainsLabel(ls []Label, l Label) bool {
+	i := sort.Search(len(ls), func(i int) bool { return ls[i] >= l })
+	return i < len(ls) && ls[i] == l
+}

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoresOnKnownGraphs(t *testing.T) {
+	// A triangle with a pendant: triangle vertices are 2-core, pendant 1.
+	b := NewBuilder("tp")
+	for i := 0; i < 4; i++ {
+		b.AddVertex()
+	}
+	b.MustAddEdge(0, 1)
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(0, 2)
+	b.MustAddEdge(2, 3)
+	g := b.Build()
+	cd := Cores(g)
+	want := []int{2, 2, 2, 1}
+	for v, w := range want {
+		if cd.Core[v] != w {
+			t.Errorf("core[%d]=%d, want %d", v, cd.Core[v], w)
+		}
+	}
+	if cd.Degeneracy != 2 {
+		t.Errorf("degeneracy=%d, want 2", cd.Degeneracy)
+	}
+	// A clique K5: all cores 4.
+	kb := NewBuilder("k5")
+	for i := 0; i < 5; i++ {
+		kb.AddVertex()
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			kb.MustAddEdge(VertexID(i), VertexID(j))
+		}
+	}
+	k5 := kb.Build()
+	cd = Cores(k5)
+	for v := 0; v < 5; v++ {
+		if cd.Core[v] != 4 {
+			t.Errorf("K5 core[%d]=%d", v, cd.Core[v])
+		}
+	}
+}
+
+func TestCoresEmpty(t *testing.T) {
+	cd := Cores(NewBuilder("e").Build())
+	if len(cd.Order) != 0 || cd.Degeneracy != 0 {
+		t.Errorf("empty decomposition: %+v", cd)
+	}
+}
+
+// Property: the degeneracy ordering is a permutation, Rank is its inverse,
+// and every vertex has at most Degeneracy neighbors later in the order.
+func TestDegeneracyOrderProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(40, 0.15, seed)
+		cd := Cores(g)
+		if len(cd.Order) != g.NumVertices() {
+			return false
+		}
+		seen := make([]bool, g.NumVertices())
+		for i, v := range cd.Order {
+			if seen[v] || cd.Rank[v] != i {
+				return false
+			}
+			seen[v] = true
+		}
+		for _, v := range cd.Order {
+			later := 0
+			for _, u := range g.Neighbors(v) {
+				if cd.Rank[u] > cd.Rank[v] {
+					later++
+				}
+			}
+			if later > cd.Degeneracy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: core numbers are consistent — every vertex of the k-core
+// subgraph induced by {v : Core[v] >= k} has degree >= k within it.
+func TestCoreNumbersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(30, 0.2, seed)
+		cd := Cores(g)
+		for k := 1; k <= cd.Degeneracy; k++ {
+			in := map[VertexID]bool{}
+			for v := 0; v < g.NumVertices(); v++ {
+				if cd.Core[v] >= k {
+					in[VertexID(v)] = true
+				}
+			}
+			for v := range in {
+				d := 0
+				for _, u := range g.Neighbors(v) {
+					if in[u] {
+						d++
+					}
+				}
+				if d < k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

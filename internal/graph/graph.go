@@ -1,0 +1,237 @@
+// Package graph implements the labeled undirected multigraph model from
+// Section 2.1 of the Fractal paper (SIGMOD 2019): vertices and edges carry
+// label sets, edges are undirected, self-loops are forbidden. The in-memory
+// representation is a CSR (compressed sparse row) adjacency indexed both by
+// neighbor vertex and by edge identifier, which is what the subgraph
+// enumerators consume.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex in a Graph. IDs are dense in [0, NumVertices).
+type VertexID int32
+
+// EdgeID identifies an undirected edge in a Graph. IDs are dense in
+// [0, NumEdges).
+type EdgeID int32
+
+// Label is an interned label (or keyword) identifier. The Dictionary maps
+// labels to their external string form.
+type Label int32
+
+// NilVertex is returned by lookups that find no vertex.
+const NilVertex VertexID = -1
+
+// NilEdge is returned by lookups that find no edge.
+const NilEdge EdgeID = -1
+
+// Edge is one undirected edge. Src < Dst always holds (endpoints are
+// normalized at construction; self-loops are rejected).
+type Edge struct {
+	Src, Dst VertexID
+	Labels   []Label
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e Edge) Other(v VertexID) VertexID {
+	switch v {
+	case e.Src:
+		return e.Dst
+	case e.Dst:
+		return e.Src
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+}
+
+// Has reports whether v is an endpoint of e.
+func (e Edge) Has(v VertexID) bool { return v == e.Src || v == e.Dst }
+
+// Graph is an immutable labeled undirected multigraph. Build one with a
+// Builder; a built Graph is safe for concurrent readers.
+type Graph struct {
+	name string
+
+	vlabels  [][]Label // per-vertex label set (sorted)
+	edges    []Edge
+	adjOff   []int32    // CSR offsets, len = NumVertices+1
+	adjV     []VertexID // neighbor endpoint for each incidence
+	adjE     []EdgeID   // edge id for each incidence
+	dict     *Dictionary
+	numLabel int
+
+	// Keyword attributes (Wikidata-style): sorted keyword-label sets per
+	// vertex/edge, possibly nil when the graph carries no keywords.
+	vkeywords [][]Label
+	ekeywords [][]Label
+}
+
+// Name returns the dataset name given at build time (may be empty).
+func (g *Graph) Name() string { return g.name }
+
+// NumVertices returns |V(G)|.
+func (g *Graph) NumVertices() int { return len(g.vlabels) }
+
+// NumEdges returns |E(G)|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumLabels returns the number of distinct labels used by vertices and edges.
+func (g *Graph) NumLabels() int { return g.numLabel }
+
+// Density returns 2|E| / (|V| (|V|-1)), the undirected edge density.
+func (g *Graph) Density() float64 {
+	n := float64(g.NumVertices())
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / (n * (n - 1))
+}
+
+// Dict returns the label dictionary, never nil.
+func (g *Graph) Dict() *Dictionary { return g.dict }
+
+// VertexLabels returns the sorted label set of v. Callers must not mutate it.
+func (g *Graph) VertexLabels(v VertexID) []Label { return g.vlabels[v] }
+
+// VertexLabel returns the first label of v, or -1 if v is unlabeled. Most
+// kernels in the paper use single-labeled (-SL) graphs, where this is the
+// label.
+func (g *Graph) VertexLabel(v VertexID) Label {
+	if ls := g.vlabels[v]; len(ls) > 0 {
+		return ls[0]
+	}
+	return -1
+}
+
+// EdgeByID returns the edge with identifier id.
+func (g *Graph) EdgeByID(id EdgeID) Edge { return g.edges[id] }
+
+// EdgeLabel returns the first label of edge id, or -1 if unlabeled.
+func (g *Graph) EdgeLabel(id EdgeID) Label {
+	if ls := g.edges[id].Labels; len(ls) > 0 {
+		return ls[0]
+	}
+	return -1
+}
+
+// Degree returns the number of incidences of v (parallel edges counted).
+func (g *Graph) Degree(v VertexID) int {
+	return int(g.adjOff[v+1] - g.adjOff[v])
+}
+
+// Neighbors returns the neighbor endpoints of v, sorted ascending. The
+// returned slice aliases internal storage and must not be mutated.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	return g.adjV[g.adjOff[v]:g.adjOff[v+1]]
+}
+
+// IncidentEdges returns the edge IDs incident to v, ordered to correspond
+// with Neighbors(v). The returned slice must not be mutated.
+func (g *Graph) IncidentEdges(v VertexID) []EdgeID {
+	return g.adjE[g.adjOff[v]:g.adjOff[v+1]]
+}
+
+// HasEdge reports whether u and v are adjacent (by any edge).
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	return g.EdgeBetween(u, v) != NilEdge
+}
+
+// EdgeBetween returns the ID of one edge between u and v, or NilEdge. When
+// parallel edges exist the one with the smallest ID among the matching run is
+// returned.
+func (g *Graph) EdgeBetween(u, v VertexID) EdgeID {
+	if u == v {
+		return NilEdge
+	}
+	// Search from the lower-degree endpoint.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nbu := g.Neighbors(u)
+	i := sort.Search(len(nbu), func(i int) bool { return nbu[i] >= v })
+	if i < len(nbu) && nbu[i] == v {
+		return g.IncidentEdges(u)[i]
+	}
+	return NilEdge
+}
+
+// EdgesBetween appends to dst the IDs of all edges between u and v and
+// returns the extended slice (multigraph-aware).
+func (g *Graph) EdgesBetween(u, v VertexID, dst []EdgeID) []EdgeID {
+	if u == v {
+		return dst
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	nbu := g.Neighbors(u)
+	ide := g.IncidentEdges(u)
+	i := sort.Search(len(nbu), func(i int) bool { return nbu[i] >= v })
+	for ; i < len(nbu) && nbu[i] == v; i++ {
+		dst = append(dst, ide[i])
+	}
+	return dst
+}
+
+// VertexKeywords returns the keyword set of v (sorted), or nil.
+func (g *Graph) VertexKeywords(v VertexID) []Label {
+	if g.vkeywords == nil {
+		return nil
+	}
+	return g.vkeywords[v]
+}
+
+// EdgeKeywords returns the keyword set of edge id (sorted), or nil.
+func (g *Graph) EdgeKeywords(id EdgeID) []Label {
+	if g.ekeywords == nil {
+		return nil
+	}
+	return g.ekeywords[id]
+}
+
+// HasKeywords reports whether the graph carries keyword attributes.
+func (g *Graph) HasKeywords() bool { return g.vkeywords != nil || g.ekeywords != nil }
+
+// String implements fmt.Stringer with a short summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(%s: |V|=%d |E|=%d |L|=%d density=%.2e)",
+		g.name, g.NumVertices(), g.NumEdges(), g.NumLabels(), g.Density())
+}
+
+// Stats is a summary row matching Table 1 of the paper.
+type Stats struct {
+	Name     string
+	V, E, L  int
+	Density  float64
+	Keywords int // distinct keywords, 0 when absent
+}
+
+// Stats returns the Table 1 summary of g.
+func (g *Graph) Stats() Stats {
+	kw := map[Label]struct{}{}
+	if g.vkeywords != nil {
+		for _, ks := range g.vkeywords {
+			for _, k := range ks {
+				kw[k] = struct{}{}
+			}
+		}
+	}
+	if g.ekeywords != nil {
+		for _, ks := range g.ekeywords {
+			for _, k := range ks {
+				kw[k] = struct{}{}
+			}
+		}
+	}
+	return Stats{
+		Name:     g.name,
+		V:        g.NumVertices(),
+		E:        g.NumEdges(),
+		L:        g.NumLabels(),
+		Density:  g.Density(),
+		Keywords: len(kw),
+	}
+}

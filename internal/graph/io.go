@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file implements the input formats supported by Fractal's
+// FractalGraph.adjacencyList loader (operator I1 in Figure 2) plus an
+// edge-list format and a keyword-attribute sidecar, and the corresponding
+// writers.
+//
+// Adjacency-list format (one line per vertex, Arabesque-compatible):
+//
+//	<vertexID> <vertexLabel> [<neighbor> ...]
+//
+// Each undirected edge appears on the lines of both endpoints; the loader
+// keeps one copy (the one where vertexID < neighbor).
+//
+// Labeled edge-list format:
+//
+//	v <vertexID> <label>[,<label>...]
+//	e <src> <dst> [<label>[,<label>...]]
+//
+// Keyword sidecar format:
+//
+//	v <vertexID> <kw>[,<kw>...]
+//	e <edgeID> <kw>[,<kw>...]
+
+// LoadAdjacencyList parses the adjacency-list format from r into a Graph
+// named name.
+func LoadAdjacencyList(r io.Reader, name string) (*Graph, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	type pending struct{ u, v VertexID }
+	var edges []pending
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: %s:%d: want at least vertex and label", name, line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: %s:%d: bad vertex id %q", name, line, fields[0])
+		}
+		lbl, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: %s:%d: bad label %q", name, line, fields[1])
+		}
+		b.EnsureVertices(id + 1)
+		b.SetVertexLabels(VertexID(id), Label(lbl))
+		for _, f := range fields[2:] {
+			nb, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("graph: %s:%d: bad neighbor %q", name, line, f)
+			}
+			if id < nb {
+				edges = append(edges, pending{VertexID(id), VertexID(nb)})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading %s: %w", name, err)
+	}
+	for _, e := range edges {
+		b.EnsureVertices(int(e.v) + 1)
+		if _, err := b.AddEdge(e.u, e.v); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// LoadEdgeList parses the labeled edge-list format from r into a Graph named
+// name. Labels are interned through the graph's dictionary.
+func LoadEdgeList(r io.Reader, name string) (*Graph, error) {
+	b := NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "v":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: %s:%d: v needs id", name, line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: %s:%d: bad vertex id", name, line)
+			}
+			b.EnsureVertices(id + 1)
+			if len(fields) >= 3 {
+				b.SetVertexLabels(VertexID(id), internList(b.Dict(), fields[2])...)
+			}
+		case "e":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: %s:%d: e needs src dst", name, line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: %s:%d: bad endpoints", name, line)
+			}
+			b.EnsureVertices(max(u, v) + 1)
+			var labels []Label
+			if len(fields) >= 4 {
+				labels = internList(b.Dict(), fields[3])
+			}
+			if _, err := b.AddEdge(VertexID(u), VertexID(v), labels...); err != nil {
+				return nil, fmt.Errorf("graph: %s:%d: %w", name, line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: %s:%d: unknown record %q", name, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading %s: %w", name, err)
+	}
+	return b.Build(), nil
+}
+
+// LoadFile loads a graph from path, choosing the format by extension:
+// ".graph" adjacency list, ".el" edge list. A sidecar "<path>.kw" with
+// keyword attributes is applied when present.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(path[strings.LastIndexByte(path, '/')+1:], ".graph")
+	name = strings.TrimSuffix(name, ".el")
+	var g *Graph
+	if strings.HasSuffix(path, ".el") {
+		g, err = LoadEdgeList(f, name)
+	} else {
+		g, err = LoadAdjacencyList(f, name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	kwf, kerr := os.Open(path + ".kw")
+	if kerr == nil {
+		defer kwf.Close()
+		g, err = ApplyKeywords(g, kwf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// ApplyKeywords parses a keyword sidecar and returns a copy of g carrying
+// the keyword attributes (interned through g's dictionary).
+func ApplyKeywords(g *Graph, r io.Reader) (*Graph, error) {
+	// Rebuild through a Builder so immutability of g is preserved.
+	b := rebuilder(g)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("graph: keywords line %d: want kind id kws", line)
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: keywords line %d: bad id", line)
+		}
+		kws := internList(b.Dict(), fields[2])
+		switch fields[0] {
+		case "v":
+			if id >= b.NumVertices() {
+				return nil, fmt.Errorf("graph: keywords line %d: vertex %d out of range", line, id)
+			}
+			b.SetVertexKeywords(VertexID(id), kws...)
+		case "e":
+			if id >= b.NumEdges() {
+				return nil, fmt.Errorf("graph: keywords line %d: edge %d out of range", line, id)
+			}
+			b.SetEdgeKeywords(EdgeID(id), kws...)
+		default:
+			return nil, fmt.Errorf("graph: keywords line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g in the labeled edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumVertices(); v++ {
+		if _, err := fmt.Fprintf(bw, "v %d %s\n", v, labelList(g.Dict(), g.VertexLabels(VertexID(v)))); err != nil {
+			return err
+		}
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.EdgeByID(EdgeID(id))
+		if len(e.Labels) > 0 {
+			if _, err := fmt.Fprintf(bw, "e %d %d %s\n", e.Src, e.Dst, labelList(g.Dict(), e.Labels)); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(bw, "e %d %d\n", e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteKeywords writes g's keyword attributes in the sidecar format.
+func WriteKeywords(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := 0; v < g.NumVertices(); v++ {
+		if ks := g.VertexKeywords(VertexID(v)); len(ks) > 0 {
+			if _, err := fmt.Fprintf(bw, "v %d %s\n", v, labelList(g.Dict(), ks)); err != nil {
+				return err
+			}
+		}
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		if ks := g.EdgeKeywords(EdgeID(id)); len(ks) > 0 {
+			if _, err := fmt.Fprintf(bw, "e %d %s\n", id, labelList(g.Dict(), ks)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func rebuilder(g *Graph) *Builder {
+	b := NewBuilder(g.name)
+	b.dict = g.dict
+	for v := 0; v < g.NumVertices(); v++ {
+		id := b.AddVertex(g.VertexLabels(VertexID(v))...)
+		if ks := g.VertexKeywords(VertexID(v)); ks != nil {
+			b.SetVertexKeywords(id, ks...)
+		}
+	}
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.EdgeByID(EdgeID(id))
+		nid := b.MustAddEdge(e.Src, e.Dst, e.Labels...)
+		if ks := g.EdgeKeywords(EdgeID(id)); ks != nil {
+			b.SetEdgeKeywords(nid, ks...)
+		}
+	}
+	return b
+}
+
+func internList(d *Dictionary, csv string) []Label {
+	parts := strings.Split(csv, ",")
+	out := make([]Label, 0, len(parts))
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		out = append(out, d.Intern(p))
+	}
+	return out
+}
+
+func labelList(d *Dictionary, ls []Label) string {
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		if n := d.Name(l); n != "" {
+			parts[i] = n
+		} else {
+			parts[i] = strconv.Itoa(int(l))
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const adjSample = `# a 4-cycle with labels
+0 10 1 3
+1 11 0 2
+2 10 1 3
+3 11 0 2
+`
+
+func TestLoadAdjacencyList(t *testing.T) {
+	g, err := LoadAdjacencyList(strings.NewReader(adjSample), "cycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("|V|=%d |E|=%d, want 4,4", g.NumVertices(), g.NumEdges())
+	}
+	if g.VertexLabel(0) != 10 || g.VertexLabel(1) != 11 {
+		t.Error("labels not loaded")
+	}
+	for _, pair := range [][2]VertexID{{0, 1}, {1, 2}, {2, 3}, {0, 3}} {
+		if !g.HasEdge(pair[0], pair[1]) {
+			t.Errorf("missing edge %v", pair)
+		}
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("spurious edge 0-2")
+	}
+}
+
+func TestLoadAdjacencyListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",        // missing label
+		"x 1\n",      // bad id
+		"0 y\n",      // bad label
+		"0 1 zz\n",   // bad neighbor
+		"0 1 2 2 2x", // bad neighbor later in line
+	}
+	for _, c := range cases {
+		if _, err := LoadAdjacencyList(strings.NewReader(c), "bad"); err == nil {
+			t.Errorf("input %q: want error", c)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b := NewBuilder("rt")
+	la := b.Dict().Intern("author")
+	lp := b.Dict().Intern("paper")
+	cw := b.Dict().Intern("cowrote")
+	v0 := b.AddVertex(la)
+	v1 := b.AddVertex(lp)
+	v2 := b.AddVertex(la, lp)
+	b.MustAddEdge(v0, v1, cw)
+	b.MustAddEdge(v1, v2)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(bytes.NewReader(buf.Bytes()), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 3 || g2.NumEdges() != 2 {
+		t.Fatalf("round trip |V|=%d |E|=%d", g2.NumVertices(), g2.NumEdges())
+	}
+	if g2.Dict().Name(g2.VertexLabel(0)) != "author" {
+		t.Error("vertex label name lost in round trip")
+	}
+	if g2.Dict().Name(g2.EdgeLabel(0)) != "cowrote" {
+		t.Error("edge label name lost in round trip")
+	}
+	if len(g2.VertexLabels(2)) != 2 {
+		t.Error("multi-label vertex lost labels")
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"q 1 2\n",
+		"v\n",
+		"v x\n",
+		"e 0\n",
+		"e a b\n",
+		"v 0\ne 0 0\n", // self loop
+	}
+	for _, c := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(c), "bad"); err == nil {
+			t.Errorf("input %q: want error", c)
+		}
+	}
+}
+
+func TestLoadFileWithKeywordSidecar(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "kg.el")
+	if err := os.WriteFile(gpath, []byte("v 0 subj\nv 1 obj\ne 0 1 pred\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gpath+".kw", []byte("v 0 paris,france\ne 0 capital\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasKeywords() {
+		t.Fatal("keywords not applied from sidecar")
+	}
+	if len(g.VertexKeywords(0)) != 2 {
+		t.Errorf("vertex keywords=%v", g.VertexKeywords(0))
+	}
+	if len(g.EdgeKeywords(0)) != 1 {
+		t.Errorf("edge keywords=%v", g.EdgeKeywords(0))
+	}
+	if g.Name() != "kg" {
+		t.Errorf("Name=%q, want kg", g.Name())
+	}
+}
+
+func TestLoadFileAdjacency(t *testing.T) {
+	dir := t.TempDir()
+	gpath := filepath.Join(dir, "tiny.graph")
+	if err := os.WriteFile(gpath, []byte("0 1 1\n1 1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(gpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("|V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.graph")); err == nil {
+		t.Error("loading missing file should fail")
+	}
+}
+
+func TestApplyKeywordsErrors(t *testing.T) {
+	g := buildPath(2)
+	cases := []string{
+		"v 99 k\n", // vertex out of range
+		"e 99 k\n", // edge out of range
+		"z 0 k\n",  // bad record
+		"v zero k\n",
+		"v 0\n",
+	}
+	for _, c := range cases {
+		if _, err := ApplyKeywords(g, strings.NewReader(c)); err == nil {
+			t.Errorf("keywords %q: want error", c)
+		}
+	}
+}
+
+func TestWriteKeywords(t *testing.T) {
+	b := NewBuilder("kw")
+	v := b.AddVertex()
+	u := b.AddVertex()
+	e := b.MustAddEdge(v, u)
+	b.SetVertexKeywords(v, b.Dict().Intern("tom"))
+	b.SetEdgeKeywords(e, b.Dict().Intern("cruise"))
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteKeywords(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "v 0 tom") || !strings.Contains(out, "e 0 cruise") {
+		t.Errorf("WriteKeywords output:\n%s", out)
+	}
+	g2, err := ApplyKeywords(g, strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.VertexKeywords(0)) != 1 {
+		t.Error("keyword round trip failed")
+	}
+}

@@ -1,0 +1,173 @@
+// Package metrics collects the measurements used throughout the paper's
+// evaluation: extension cost (EC, the number of candidate tests performed
+// during enumeration, Section 4.3), per-core busy work for load-balance and
+// scalability analysis (Figures 8, 16, 19), work-stealing counters and
+// overhead (Section 6), and intermediate-state byte estimates (Table 2,
+// Section 4.1).
+//
+// Rationale for work units: the reproduction runs on machines where true
+// parallel wall-clock speedup may not be observable (for example a single
+// physical core). What Figures 8/16/17/18/19 fundamentally measure is how
+// evenly the enumeration work is distributed across cores. The runtime
+// therefore accounts deterministic work units (extension tests + emitted
+// subgraphs) per core; makespan is the maximum per-core work and parallel
+// efficiency is totalWork / (cores × makespan). Single-configuration runtime
+// comparisons (Figures 11-13, 15, 20a) still use wall-clock time.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Collector accumulates the metrics of one fractal step (or one whole
+// application run). Safe for concurrent use by all cores.
+type Collector struct {
+	extTests  atomic.Int64
+	subgraphs atomic.Int64
+
+	stealsInternal atomic.Int64
+	stealsExternal atomic.Int64
+	stealBytes     atomic.Int64
+	stealTimeNs    atomic.Int64
+	busyTimeNs     atomic.Int64
+
+	peakStateBytes atomic.Int64
+
+	coreWork []atomic.Int64
+}
+
+// NewCollector returns a Collector tracking the given number of cores.
+func NewCollector(cores int) *Collector {
+	return &Collector{coreWork: make([]atomic.Int64, cores)}
+}
+
+// AddExtensionTests adds n candidate tests (EC) attributed to core.
+func (c *Collector) AddExtensionTests(core int, n int64) {
+	c.extTests.Add(n)
+	if core >= 0 && core < len(c.coreWork) {
+		c.coreWork[core].Add(n)
+	}
+}
+
+// AddSubgraphs adds n emitted subgraphs attributed to core. Subgraph
+// emissions also count as one work unit each.
+func (c *Collector) AddSubgraphs(core int, n int64) {
+	c.subgraphs.Add(n)
+	if core >= 0 && core < len(c.coreWork) {
+		c.coreWork[core].Add(n)
+	}
+}
+
+// AddInternalSteal records one successful internal (same-worker) steal.
+func (c *Collector) AddInternalSteal() { c.stealsInternal.Add(1) }
+
+// AddExternalSteal records one successful external steal shipping n bytes.
+func (c *Collector) AddExternalSteal(n int64) {
+	c.stealsExternal.Add(1)
+	c.stealBytes.Add(n)
+}
+
+// AddStealTime records time spent in work-stealing code paths.
+func (c *Collector) AddStealTime(d time.Duration) { c.stealTimeNs.Add(int64(d)) }
+
+// AddBusyTime records time a core spent processing work.
+func (c *Collector) AddBusyTime(d time.Duration) { c.busyTimeNs.Add(int64(d)) }
+
+// ObserveStateBytes raises the peak intermediate-state estimate to n if
+// larger (monotone max).
+func (c *Collector) ObserveStateBytes(n int64) {
+	for {
+		cur := c.peakStateBytes.Load()
+		if n <= cur || c.peakStateBytes.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// ExtensionTests returns the accumulated EC.
+func (c *Collector) ExtensionTests() int64 { return c.extTests.Load() }
+
+// Subgraphs returns the number of emitted subgraphs.
+func (c *Collector) Subgraphs() int64 { return c.subgraphs.Load() }
+
+// Steals returns (internal, external) successful steal counts.
+func (c *Collector) Steals() (internal, external int64) {
+	return c.stealsInternal.Load(), c.stealsExternal.Load()
+}
+
+// StealBytes returns the bytes shipped by external steals.
+func (c *Collector) StealBytes() int64 { return c.stealBytes.Load() }
+
+// BusyTime returns the total time cores spent holding work (runnable or
+// running), as opposed to idling in the steal loop.
+func (c *Collector) BusyTime() time.Duration { return time.Duration(c.busyTimeNs.Load()) }
+
+// StealOverhead returns time-in-stealing / busy-time, the Section 6 number.
+func (c *Collector) StealOverhead() float64 {
+	busy := c.busyTimeNs.Load()
+	if busy == 0 {
+		return 0
+	}
+	return float64(c.stealTimeNs.Load()) / float64(busy)
+}
+
+// PeakStateBytes returns the peak intermediate-state estimate.
+func (c *Collector) PeakStateBytes() int64 { return c.peakStateBytes.Load() }
+
+// CoreWork returns a snapshot of per-core work units.
+func (c *Collector) CoreWork() []int64 {
+	out := make([]int64, len(c.coreWork))
+	for i := range c.coreWork {
+		out[i] = c.coreWork[i].Load()
+	}
+	return out
+}
+
+// Balance summarizes a per-core work distribution.
+type Balance struct {
+	Cores      int
+	Total      int64
+	Makespan   int64   // max per-core work
+	Mean       float64 // total / cores
+	Efficiency float64 // total / (cores * makespan); 1.0 = perfect balance
+	PerCore    []int64 // sorted descending
+}
+
+// BalanceOf computes the Balance summary of a work vector.
+func BalanceOf(work []int64) Balance {
+	b := Balance{Cores: len(work), PerCore: append([]int64(nil), work...)}
+	sort.Slice(b.PerCore, func(i, j int) bool { return b.PerCore[i] > b.PerCore[j] })
+	for _, w := range work {
+		b.Total += w
+		if w > b.Makespan {
+			b.Makespan = w
+		}
+	}
+	if b.Cores > 0 {
+		b.Mean = float64(b.Total) / float64(b.Cores)
+	}
+	if b.Makespan > 0 && b.Cores > 0 {
+		b.Efficiency = float64(b.Total) / (float64(b.Cores) * float64(b.Makespan))
+	}
+	return b
+}
+
+// Balance returns the balance summary of the collector's core work.
+func (c *Collector) Balance() Balance { return BalanceOf(c.CoreWork()) }
+
+// String summarizes the collector.
+func (c *Collector) String() string {
+	in, ex := c.Steals()
+	return fmt.Sprintf("metrics(EC=%d subgraphs=%d steals=%d/%d eff=%.2f)",
+		c.ExtensionTests(), c.Subgraphs(), in, ex, c.Balance().Efficiency)
+}
+
+// EmbeddingBytes estimates the in-memory size of one stored embedding with
+// the given vertex and edge counts, matching the paper's Section 4.1
+// accounting (identifiers only, no object overheads).
+func EmbeddingBytes(numVertices, numEdges int) int64 {
+	return int64(4 * (numVertices + numEdges))
+}

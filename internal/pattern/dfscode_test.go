@@ -1,0 +1,102 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinDFSCodeBasics(t *testing.T) {
+	if MinDFSCode(NewBuilder(0).Build()) != nil {
+		t.Error("empty pattern should have nil code")
+	}
+	if MinDFSCode(NewBuilder(2).Build()) != nil {
+		t.Error("edgeless pattern should have nil code")
+	}
+	tri := MinDFSCode(Triangle())
+	if len(tri) != 3 {
+		t.Fatalf("triangle code has %d edges", len(tri))
+	}
+	// First edge of any min code is forward (0,1).
+	if tri[0].From != 0 || tri[0].To != 1 {
+		t.Errorf("first edge=%+v", tri[0])
+	}
+	if DFSCodeString(tri) == "" {
+		t.Error("empty code string")
+	}
+}
+
+func TestMinDFSCodeInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		p := randPattern(r, n, r.Intn(2) == 0)
+		code := DFSCodeString(MinDFSCode(p))
+		q := p.Relabel(rng.Perm(n))
+		return DFSCodeString(MinDFSCode(q)) == code
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-validation of the two canonicalization algorithms: the minimum DFS
+// code and the minimum adjacency code must induce the same isomorphism
+// classes on random pattern pairs.
+func TestMinDFSCodeAgreesWithAdjacencyCode(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		n := 2 + ra.Intn(4)
+		a := randPattern(ra, n, ra.Intn(2) == 0)
+		b := randPattern(rb, 2+rb.Intn(4), rb.Intn(2) == 0)
+		sameDFS := DFSCodeString(MinDFSCode(a)) == DFSCodeString(MinDFSCode(b))
+		sameAdj := a.Canonical().Code == b.Canonical().Code
+		return sameDFS == sameAdj
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDFSCodeDistinguishesKnownPairs(t *testing.T) {
+	pairs := [][2]*Pattern{
+		{Path(4), Star(4)},
+		{Cycle(4), ChordalSquare()},
+		{Clique(4), Cycle(4)},
+		{House(), Bowtie()},
+	}
+	for _, pr := range pairs {
+		if DFSCodeString(MinDFSCode(pr[0])) == DFSCodeString(MinDFSCode(pr[1])) {
+			t.Errorf("non-isomorphic %v and %v share a DFS code", pr[0], pr[1])
+		}
+	}
+	// Labeled variants.
+	a := NewBuilder(2).SetVertexLabel(0, 1).AddEdge(0, 1, 5).Build()
+	b := NewBuilder(2).SetVertexLabel(1, 1).AddEdge(0, 1, 5).Build()
+	c := NewBuilder(2).SetVertexLabel(0, 2).AddEdge(0, 1, 5).Build()
+	if DFSCodeString(MinDFSCode(a)) != DFSCodeString(MinDFSCode(b)) {
+		t.Error("isomorphic labeled edges differ")
+	}
+	if DFSCodeString(MinDFSCode(a)) == DFSCodeString(MinDFSCode(c)) {
+		t.Error("differently labeled edges agree")
+	}
+}
+
+func TestDFSEdgeOrder(t *testing.T) {
+	fwd := DFSEdge{From: 1, To: 2}
+	bwd := DFSEdge{From: 2, To: 0}
+	if !bwd.less(fwd) {
+		t.Error("backward edges must sort before forward edges")
+	}
+	if fwd.less(bwd) {
+		t.Error("ordering not antisymmetric")
+	}
+	// Forward edges: deeper From first.
+	shallow := DFSEdge{From: 0, To: 3}
+	deep := DFSEdge{From: 2, To: 3}
+	if !deep.less(shallow) {
+		t.Error("forward edges from deeper vertices must sort first")
+	}
+}

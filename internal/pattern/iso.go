@@ -1,0 +1,70 @@
+package pattern
+
+// Isomorphism and automorphism computation (Definition 3 of the paper).
+// Patterns are tiny, so a label/degree-pruned backtracking search over vertex
+// bijections is both simple and fast.
+
+// Isomorphic reports whether p and q are isomorphic labeled graphs.
+func Isomorphic(p, q *Pattern) bool {
+	if p.n != q.n || p.m != q.m {
+		return false
+	}
+	return p.Canonical().Code == q.Canonical().Code
+}
+
+// Automorphisms returns every permutation a (as a slice with a[v] = image of
+// v) that maps p onto itself preserving vertex labels, adjacency, and edge
+// labels. The identity is always included; the result is the automorphism
+// group Aut(p) listed exhaustively.
+func Automorphisms(p *Pattern) [][]int {
+	n := p.n
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var (
+		out  [][]int
+		perm = make([]int, n)
+		used uint32
+	)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for img := 0; img < n; img++ {
+			if used&(1<<uint(img)) != 0 {
+				continue
+			}
+			if p.vlabels[v] != p.vlabels[img] {
+				continue
+			}
+			if p.Degree(v) != p.Degree(img) {
+				continue
+			}
+			ok := true
+			for u := 0; u < v; u++ {
+				if p.HasEdge(v, u) != p.HasEdge(img, perm[u]) {
+					ok = false
+					break
+				}
+				if p.HasEdge(v, u) && p.EdgeLabel(v, u) != p.EdgeLabel(img, perm[u]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			perm[v] = img
+			used |= 1 << uint(img)
+			rec(v + 1)
+			used &^= 1 << uint(img)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// NumAutomorphisms returns |Aut(p)|.
+func NumAutomorphisms(p *Pattern) int { return len(Automorphisms(p)) }

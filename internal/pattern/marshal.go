@@ -1,0 +1,65 @@
+package pattern
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"fractal/internal/graph"
+)
+
+// wireEdge is the serialized form of one pattern edge.
+type wireEdge struct {
+	U, V  int
+	Label graph.Label
+}
+
+// wirePattern is the serialized form of a Pattern.
+type wirePattern struct {
+	N       int
+	VLabels []graph.Label
+	Edges   []wireEdge
+}
+
+// GobEncode implements gob.GobEncoder, making patterns (and values that
+// embed them, like aggregation entries) transportable between workers.
+func (p *Pattern) GobEncode() ([]byte, error) {
+	w := wirePattern{N: p.n, VLabels: p.vlabels}
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.HasEdge(u, v) {
+				w.Edges = append(w.Edges, wireEdge{U: u, V: v, Label: p.EdgeLabel(u, v)})
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *Pattern) GobDecode(data []byte) error {
+	var w wirePattern
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	if w.N < 0 || w.N > MaxVertices {
+		return fmt.Errorf("pattern: decoded vertex count %d out of range", w.N)
+	}
+	b := NewBuilder(w.N)
+	for v, l := range w.VLabels {
+		if v < w.N {
+			b.SetVertexLabel(v, l)
+		}
+	}
+	for _, e := range w.Edges {
+		if e.U < 0 || e.V < 0 || e.U >= w.N || e.V >= w.N || e.U == e.V {
+			return fmt.Errorf("pattern: decoded edge (%d,%d) invalid", e.U, e.V)
+		}
+		b.AddEdge(e.U, e.V, e.Label)
+	}
+	*p = *b.Build()
+	return nil
+}

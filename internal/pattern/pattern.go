@@ -1,0 +1,201 @@
+// Package pattern implements subgraph patterns and the isomorphism machinery
+// from Section 2.1 of the Fractal paper: canonical labeling of small labeled
+// graphs (the ρ(S) function), isomorphism and automorphism computation, and
+// the Grochow–Kellis symmetry-breaking conditions used by pattern-induced
+// extension.
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"fractal/internal/graph"
+)
+
+// MaxVertices is the maximum number of vertices in a Pattern. Patterns are
+// templates for the small subgraphs mined by GPM kernels; 32 is far above
+// any practical exploration depth.
+const MaxVertices = 32
+
+// NoLabel marks an unlabeled vertex or edge within a pattern.
+const NoLabel graph.Label = -1
+
+// Pattern is an immutable small labeled graph template. Vertices are
+// numbered 0..N-1. Two subgraphs have the same pattern iff their Patterns
+// have equal canonical codes.
+type Pattern struct {
+	n       int
+	m       int
+	vlabels []graph.Label
+	adj     []uint32      // adjacency bitmask rows
+	elabels []graph.Label // n*n matrix, NoLabel where no edge/unlabeled
+}
+
+// Builder assembles a Pattern.
+type PBuilder struct {
+	p Pattern
+}
+
+// NewBuilder returns a pattern builder with n unlabeled vertices.
+func NewBuilder(n int) *PBuilder {
+	if n < 0 || n > MaxVertices {
+		panic(fmt.Sprintf("pattern: %d vertices out of range [0,%d]", n, MaxVertices))
+	}
+	b := &PBuilder{}
+	b.p.n = n
+	b.p.vlabels = make([]graph.Label, n)
+	for i := range b.p.vlabels {
+		b.p.vlabels[i] = NoLabel
+	}
+	b.p.adj = make([]uint32, n)
+	b.p.elabels = make([]graph.Label, n*n)
+	for i := range b.p.elabels {
+		b.p.elabels[i] = NoLabel
+	}
+	return b
+}
+
+// SetVertexLabel labels vertex v.
+func (b *PBuilder) SetVertexLabel(v int, l graph.Label) *PBuilder {
+	b.p.vlabels[v] = l
+	return b
+}
+
+// AddEdge adds an undirected edge u-v with label l (NoLabel for unlabeled).
+// Self-loops and duplicate edges panic: patterns are simple by construction.
+func (b *PBuilder) AddEdge(u, v int, l graph.Label) *PBuilder {
+	if u == v {
+		panic("pattern: self-loop")
+	}
+	if u < 0 || v < 0 || u >= b.p.n || v >= b.p.n {
+		panic(fmt.Sprintf("pattern: edge (%d,%d) out of range n=%d", u, v, b.p.n))
+	}
+	if b.p.adj[u]&(1<<uint(v)) != 0 {
+		panic(fmt.Sprintf("pattern: duplicate edge (%d,%d)", u, v))
+	}
+	b.p.adj[u] |= 1 << uint(v)
+	b.p.adj[v] |= 1 << uint(u)
+	b.p.elabels[u*b.p.n+v] = l
+	b.p.elabels[v*b.p.n+u] = l
+	b.p.m++
+	return b
+}
+
+// Build returns the immutable pattern.
+func (b *PBuilder) Build() *Pattern {
+	p := b.p // copy
+	return &p
+}
+
+// NumVertices returns the number of pattern vertices.
+func (p *Pattern) NumVertices() int { return p.n }
+
+// NumEdges returns the number of pattern edges.
+func (p *Pattern) NumEdges() int { return p.m }
+
+// VertexLabel returns the label of pattern vertex v (NoLabel if unlabeled).
+func (p *Pattern) VertexLabel(v int) graph.Label { return p.vlabels[v] }
+
+// HasEdge reports whether u and v are adjacent in the pattern.
+func (p *Pattern) HasEdge(u, v int) bool { return p.adj[u]&(1<<uint(v)) != 0 }
+
+// EdgeLabel returns the label of edge u-v (NoLabel when absent or unlabeled).
+func (p *Pattern) EdgeLabel(u, v int) graph.Label { return p.elabels[u*p.n+v] }
+
+// Degree returns the degree of pattern vertex v.
+func (p *Pattern) Degree(v int) int { return bits.OnesCount32(p.adj[v]) }
+
+// AdjMask returns the adjacency bitmask of v.
+func (p *Pattern) AdjMask(v int) uint32 { return p.adj[v] }
+
+// Connected reports whether the pattern is connected (the empty pattern and
+// single vertices count as connected).
+func (p *Pattern) Connected() bool {
+	if p.n <= 1 {
+		return true
+	}
+	var seen uint32 = 1
+	stack := []int{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := p.adj[v] &^ seen; m != 0; m &= m - 1 {
+			u := bits.TrailingZeros32(m)
+			seen |= 1 << uint(u)
+			stack = append(stack, u)
+		}
+	}
+	return seen == (1<<uint(p.n))-1
+}
+
+// Fingerprint returns an exact structural key of the pattern in its current
+// vertex numbering: two patterns have equal fingerprints iff they are
+// identical labeled graphs on 0..n-1 (NOT merely isomorphic). Used as a
+// cache key in front of canonical labeling.
+func (p *Pattern) Fingerprint() string {
+	var sb strings.Builder
+	sb.Grow(4 + p.n*6 + p.n*p.n)
+	writeInt(&sb, p.n)
+	for _, l := range p.vlabels {
+		writeInt(&sb, int(l))
+	}
+	for i := 1; i < p.n; i++ {
+		for j := 0; j < i; j++ {
+			if p.HasEdge(i, j) {
+				sb.WriteByte(1)
+				writeInt(&sb, int(p.EdgeLabel(i, j)))
+			} else {
+				sb.WriteByte(0)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Relabel returns a copy of p with vertex i renamed to perm[i].
+func (p *Pattern) Relabel(perm []int) *Pattern {
+	b := NewBuilder(p.n)
+	for v := 0; v < p.n; v++ {
+		b.SetVertexLabel(perm[v], p.vlabels[v])
+	}
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.HasEdge(u, v) {
+				b.AddEdge(perm[u], perm[v], p.EdgeLabel(u, v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// String renders the pattern as "n=3 labels=[a b c] edges=[0-1 1-2]".
+func (p *Pattern) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pattern(n=%d labels=%v edges=[", p.n, p.vlabels)
+	first := true
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.HasEdge(u, v) {
+				if !first {
+					sb.WriteByte(' ')
+				}
+				first = false
+				if l := p.EdgeLabel(u, v); l != NoLabel {
+					fmt.Fprintf(&sb, "%d-%d:%d", u, v, l)
+				} else {
+					fmt.Fprintf(&sb, "%d-%d", u, v)
+				}
+			}
+		}
+	}
+	sb.WriteString("])")
+	return sb.String()
+}
+
+func writeInt(sb *strings.Builder, v int) {
+	sb.WriteByte(byte(v >> 24))
+	sb.WriteByte(byte(v >> 16))
+	sb.WriteByte(byte(v >> 8))
+	sb.WriteByte(byte(v))
+}

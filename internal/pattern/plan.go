@@ -1,0 +1,138 @@
+package pattern
+
+import (
+	"fmt"
+
+	"fractal/internal/graph"
+)
+
+// Plan is the matching order used by pattern-induced extension (the
+// pfractoid of Figure 2): pattern vertices are bound one per extension level
+// in a connected order, and each level carries its adjacency, label, and
+// symmetry-breaking constraints against earlier levels.
+type Plan struct {
+	P *Pattern
+
+	// Order[i] is the pattern vertex matched at extension level i.
+	Order []int
+	// PosOf[v] is the level at which pattern vertex v is matched.
+	PosOf []int
+	// VLabels[i] is the vertex-label constraint at level i (NoLabel = any).
+	VLabels []graph.Label
+	// Back[i] lists the adjacency constraints of level i against earlier
+	// levels; every level > 0 has at least one (connected order).
+	Back [][]BackRef
+	// GreaterThan[i] lists earlier levels whose bound vertex must be < the
+	// vertex bound at level i (symmetry breaking).
+	GreaterThan [][]int
+	// SmallerThan[i] lists earlier levels whose bound vertex must be > the
+	// vertex bound at level i (symmetry breaking).
+	SmallerThan [][]int
+}
+
+// BackRef is one adjacency constraint: the vertex bound at the current level
+// must be adjacent to the vertex bound at level Pos, by an edge whose label
+// matches ELabel (NoLabel = any).
+type BackRef struct {
+	Pos    int
+	ELabel graph.Label
+}
+
+// NewPlan computes a matching plan for p. It returns an error when p is
+// empty or not connected: pattern-induced extension requires a connected
+// template.
+func NewPlan(p *Pattern) (*Plan, error) {
+	n := p.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("pattern: cannot plan empty pattern")
+	}
+	if !p.Connected() {
+		return nil, fmt.Errorf("pattern: cannot plan disconnected pattern %v", p)
+	}
+	pl := &Plan{
+		P:           p,
+		Order:       make([]int, 0, n),
+		PosOf:       make([]int, n),
+		VLabels:     make([]graph.Label, n),
+		Back:        make([][]BackRef, n),
+		GreaterThan: make([][]int, n),
+		SmallerThan: make([][]int, n),
+	}
+	for i := range pl.PosOf {
+		pl.PosOf[i] = -1
+	}
+
+	// Greedy connected order: start at the max-degree vertex; then always
+	// pick the unplaced vertex with the most placed neighbors (densest
+	// backward constraints prune candidates earliest), tie-broken by degree
+	// then by vertex id.
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	place := func(v int) {
+		pos := len(pl.Order)
+		pl.PosOf[v] = pos
+		pl.Order = append(pl.Order, v)
+		pl.VLabels[pos] = p.VertexLabel(v)
+		for u := 0; u < n; u++ {
+			if p.HasEdge(v, u) && pl.PosOf[u] >= 0 && pl.PosOf[u] < pos {
+				pl.Back[pos] = append(pl.Back[pos], BackRef{Pos: pl.PosOf[u], ELabel: p.EdgeLabel(v, u)})
+			}
+		}
+	}
+	place(start)
+	for len(pl.Order) < n {
+		bestV, bestBack, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if pl.PosOf[v] >= 0 {
+				continue
+			}
+			back := 0
+			for u := 0; u < n; u++ {
+				if p.HasEdge(v, u) && pl.PosOf[u] >= 0 {
+					back++
+				}
+			}
+			if back == 0 {
+				continue
+			}
+			if back > bestBack || (back == bestBack && p.Degree(v) > bestDeg) {
+				bestV, bestBack, bestDeg = v, back, p.Degree(v)
+			}
+		}
+		place(bestV)
+	}
+
+	// Translate symmetry-breaking conditions into per-level checks.
+	for _, c := range SymmetryConditions(p) {
+		pa, pb := pl.PosOf[c.A], pl.PosOf[c.B] // mapped(A) < mapped(B)
+		if pa < pb {
+			// When binding level pb, it must exceed the binding of level pa.
+			pl.GreaterThan[pb] = append(pl.GreaterThan[pb], pa)
+		} else {
+			// When binding level pa, it must be below the binding of level pb.
+			pl.SmallerThan[pa] = append(pl.SmallerThan[pa], pb)
+		}
+	}
+	return pl, nil
+}
+
+// CheckBinding reports whether binding graph vertex v at level pos is
+// consistent with the plan's symmetry-breaking conditions, given the
+// bindings of earlier levels.
+func (pl *Plan) CheckBinding(pos int, v graph.VertexID, bound []graph.VertexID) bool {
+	for _, e := range pl.GreaterThan[pos] {
+		if v <= bound[e] {
+			return false
+		}
+	}
+	for _, e := range pl.SmallerThan[pos] {
+		if v >= bound[e] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,64 @@
+package pattern
+
+import "sort"
+
+// Symmetry breaking for pattern-induced extension (Section 3 of the paper,
+// following Grochow & Kellis, RECOMB 2007). Instead of canonical-subgraph
+// checking, pattern matching avoids reporting the same subgraph once per
+// automorphism by imposing a partial order on the graph vertices bound to
+// symmetric pattern positions: exactly one member of each automorphism class
+// of embeddings satisfies all conditions.
+
+// Condition (A, B) requires mapped(A) < mapped(B), where mapped(x) is the
+// input-graph vertex bound to pattern vertex x.
+type Condition struct {
+	A, B int
+}
+
+// SymmetryConditions computes a minimal set of ordering conditions that
+// break all automorphisms of p: an embedding m satisfies the conditions iff
+// it is the unique representative of its automorphism class {m ∘ a : a ∈
+// Aut(p)}.
+func SymmetryConditions(p *Pattern) []Condition {
+	auts := Automorphisms(p)
+	var conds []Condition
+	for len(auts) > 1 {
+		v := smallestMovedVertex(auts, p.n)
+		orbit := map[int]struct{}{}
+		for _, a := range auts {
+			orbit[a[v]] = struct{}{}
+		}
+		others := make([]int, 0, len(orbit))
+		for u := range orbit {
+			if u != v {
+				others = append(others, u)
+			}
+		}
+		sort.Ints(others)
+		for _, u := range others {
+			conds = append(conds, Condition{A: v, B: u})
+		}
+		// Restrict to the stabilizer of v.
+		stab := auts[:0]
+		for _, a := range auts {
+			if a[v] == v {
+				stab = append(stab, a)
+			}
+		}
+		auts = stab
+	}
+	return conds
+}
+
+// smallestMovedVertex returns the smallest vertex moved by some
+// automorphism in auts. Callers guarantee len(auts) > 1, so one exists.
+func smallestMovedVertex(auts [][]int, n int) int {
+	for v := 0; v < n; v++ {
+		for _, a := range auts {
+			if a[v] != v {
+				return v
+			}
+		}
+	}
+	panic("pattern: no moved vertex in non-trivial automorphism set")
+}

@@ -1,0 +1,305 @@
+// Package rpc provides the actor-style message transport that Fractal's
+// master and workers communicate over (Section 4, "Proof of concept over
+// Spark and Akka"). Two implementations are provided: an in-process loopback
+// (channel mailboxes) and a real TCP transport with gob framing on
+// 127.0.0.1, which reproduces the serialize/send/receive/deserialize cost of
+// inter-process communication that makes external work stealing more
+// expensive than internal work stealing (Section 4.2).
+//
+// Address discovery substitutes the paper's master-coordinated handshake:
+// all listeners are bound first and the resulting address book is shared
+// with every node, after which nodes dial peers lazily on first send.
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// NodeID identifies a node. The master is node -1; workers are 0..n-1.
+type NodeID int
+
+// Master is the NodeID of the application master.
+const Master NodeID = -1
+
+// Envelope is one message: an already-encoded body tagged with a kind
+// understood by the scheduling layer.
+type Envelope struct {
+	From NodeID
+	Kind uint8
+	Body []byte
+}
+
+// Transport is one node's endpoint: a mailbox plus a way to send to peers.
+type Transport interface {
+	// Self returns this node's ID.
+	Self() NodeID
+	// Send delivers env to the mailbox of node to. It is safe for
+	// concurrent use.
+	Send(to NodeID, env Envelope) error
+	// Recv returns the mailbox channel. The channel is closed by Close.
+	Recv() <-chan Envelope
+	// Peers returns the IDs of all other nodes.
+	Peers() []NodeID
+	// Close releases resources and closes the mailbox.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("rpc: transport closed")
+
+// ErrUnknownPeer is returned by Send for an unknown destination.
+var ErrUnknownPeer = errors.New("rpc: unknown peer")
+
+const mailboxDepth = 4096
+
+// ---------------------------------------------------------------------------
+// Loopback transport
+
+type loopNode struct {
+	id  NodeID
+	net *loopNetwork
+	box chan Envelope
+
+	mu     sync.RWMutex // guards closed; held (R) while sending into box
+	closed bool
+}
+
+type loopNetwork struct {
+	nodes map[NodeID]*loopNode
+}
+
+// NewLoopbackNetwork returns connected in-process transports for the given
+// node IDs.
+func NewLoopbackNetwork(ids []NodeID) map[NodeID]Transport {
+	nw := &loopNetwork{nodes: map[NodeID]*loopNode{}}
+	out := map[NodeID]Transport{}
+	for _, id := range ids {
+		n := &loopNode{id: id, net: nw, box: make(chan Envelope, mailboxDepth)}
+		nw.nodes[id] = n
+		out[id] = n
+	}
+	return out
+}
+
+func (n *loopNode) Self() NodeID { return n.id }
+
+func (n *loopNode) Send(to NodeID, env Envelope) error {
+	dst, ok := n.net.nodes[to]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+	env.From = n.id
+	// Copy the body: senders commonly reuse buffers, and a real transport
+	// would have serialized by now.
+	if env.Body != nil {
+		env.Body = append([]byte(nil), env.Body...)
+	}
+	// Hold the destination's read lock while sending so Close cannot close
+	// the mailbox under an in-flight send.
+	dst.mu.RLock()
+	defer dst.mu.RUnlock()
+	if dst.closed {
+		return ErrClosed
+	}
+	dst.box <- env
+	return nil
+}
+
+func (n *loopNode) Recv() <-chan Envelope { return n.box }
+
+func (n *loopNode) Peers() []NodeID {
+	out := make([]NodeID, 0, len(n.net.nodes)-1)
+	for id := range n.net.nodes {
+		if id != n.id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (n *loopNode) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.closed {
+		n.closed = true
+		close(n.box)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+
+type tcpNode struct {
+	id    NodeID
+	ln    net.Listener
+	book  map[NodeID]string // peer -> address
+	box   chan Envelope
+	done  chan struct{}
+	close sync.Once
+
+	mu      sync.Mutex
+	conns   map[NodeID]*tcpConn
+	inbound map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPNetwork binds one 127.0.0.1 listener per node ID, shares the address
+// book, and returns the transports. Connections are established lazily.
+func NewTCPNetwork(ids []NodeID) (map[NodeID]Transport, error) {
+	nodes := map[NodeID]*tcpNode{}
+	book := map[NodeID]string{}
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, n := range nodes {
+				n.ln.Close()
+			}
+			return nil, fmt.Errorf("rpc: listen for node %d: %w", id, err)
+		}
+		nodes[id] = &tcpNode{
+			id:      id,
+			ln:      ln,
+			box:     make(chan Envelope, mailboxDepth),
+			done:    make(chan struct{}),
+			conns:   map[NodeID]*tcpConn{},
+			inbound: map[net.Conn]struct{}{},
+		}
+		book[id] = ln.Addr().String()
+	}
+	out := map[NodeID]Transport{}
+	for id, n := range nodes {
+		n.book = book
+		n.wg.Add(1)
+		go n.acceptLoop()
+		out[id] = n
+	}
+	return out, nil
+}
+
+func (n *tcpNode) Self() NodeID { return n.id }
+
+func (n *tcpNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		select {
+		case <-n.done:
+			n.mu.Unlock()
+			c.Close()
+			return
+		default:
+		}
+		n.inbound[c] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *tcpNode) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		delete(n.inbound, c)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		select {
+		case <-n.done:
+			return
+		case n.box <- env:
+		}
+	}
+}
+
+func (n *tcpNode) Send(to NodeID, env Envelope) error {
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	addr, ok := n.book[to]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
+	}
+	n.mu.Lock()
+	tc, ok := n.conns[to]
+	if !ok {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			n.mu.Unlock()
+			return fmt.Errorf("rpc: dial node %d: %w", to, err)
+		}
+		tc = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+		n.conns[to] = tc
+	}
+	n.mu.Unlock()
+
+	env.From = n.id
+	tc.mu.Lock()
+	err := tc.enc.Encode(env)
+	tc.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection so a retry redials.
+		n.mu.Lock()
+		if n.conns[to] == tc {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		tc.c.Close()
+		return fmt.Errorf("rpc: send to node %d: %w", to, err)
+	}
+	return nil
+}
+
+func (n *tcpNode) Recv() <-chan Envelope { return n.box }
+
+func (n *tcpNode) Peers() []NodeID {
+	out := make([]NodeID, 0, len(n.book)-1)
+	for id := range n.book {
+		if id != n.id {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (n *tcpNode) Close() error {
+	n.close.Do(func() {
+		close(n.done)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, tc := range n.conns {
+			tc.c.Close()
+		}
+		n.conns = map[NodeID]*tcpConn{}
+		for c := range n.inbound {
+			c.Close()
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+		close(n.box)
+	})
+	return nil
+}

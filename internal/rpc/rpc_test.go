@@ -1,0 +1,207 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func networks(t *testing.T) map[string]func(ids []NodeID) map[NodeID]Transport {
+	t.Helper()
+	return map[string]func(ids []NodeID) map[NodeID]Transport{
+		"loopback": NewLoopbackNetwork,
+		"tcp": func(ids []NodeID) map[NodeID]Transport {
+			nw, err := NewTCPNetwork(ids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nw
+		},
+	}
+}
+
+func recvOne(t *testing.T, tr Transport) Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-tr.Recv():
+		if !ok {
+			t.Fatal("mailbox closed")
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for message")
+	}
+	return Envelope{}
+}
+
+func TestSendRecvBothTransports(t *testing.T) {
+	for name, mk := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			nw := mk([]NodeID{Master, 0, 1})
+			defer closeAll(nw)
+			if err := nw[Master].Send(0, Envelope{Kind: 7, Body: []byte("hi")}); err != nil {
+				t.Fatal(err)
+			}
+			env := recvOne(t, nw[0])
+			if env.From != Master || env.Kind != 7 || string(env.Body) != "hi" {
+				t.Errorf("got %+v", env)
+			}
+			// Worker to worker.
+			if err := nw[0].Send(1, Envelope{Kind: 9}); err != nil {
+				t.Fatal(err)
+			}
+			env = recvOne(t, nw[1])
+			if env.From != 0 || env.Kind != 9 {
+				t.Errorf("got %+v", env)
+			}
+		})
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	for name, mk := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			nw := mk([]NodeID{Master, 0})
+			defer closeAll(nw)
+			err := nw[0].Send(42, Envelope{})
+			if !errors.Is(err, ErrUnknownPeer) {
+				t.Errorf("err=%v, want ErrUnknownPeer", err)
+			}
+		})
+	}
+}
+
+func TestPeers(t *testing.T) {
+	for name, mk := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			nw := mk([]NodeID{Master, 0, 1, 2})
+			defer closeAll(nw)
+			peers := nw[1].Peers()
+			if len(peers) != 3 {
+				t.Errorf("peers=%v", peers)
+			}
+			for _, p := range peers {
+				if p == 1 {
+					t.Error("self listed as peer")
+				}
+			}
+			if nw[1].Self() != 1 {
+				t.Error("Self wrong")
+			}
+		})
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	for name, mk := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			nw := mk([]NodeID{Master, 0})
+			nw[0].Close()
+			// Sending from the closed node must fail (loopback reports the
+			// destination's state; tcp reports the sender's).
+			errSelf := nw[0].Send(Master, Envelope{})
+			errTo := nw[Master].Send(0, Envelope{})
+			if errSelf == nil && errTo == nil {
+				t.Error("both directions succeeded after close")
+			}
+			nw[Master].Close()
+		})
+	}
+}
+
+func TestBodyIsolation(t *testing.T) {
+	// Mutating the sender's buffer after Send must not affect the receiver.
+	nw := NewLoopbackNetwork([]NodeID{0, 1})
+	defer closeAll(nw)
+	buf := []byte("abc")
+	if err := nw[0].Send(1, Envelope{Body: buf}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	env := recvOne(t, nw[1])
+	if string(env.Body) != "abc" {
+		t.Errorf("receiver saw mutated body %q", env.Body)
+	}
+}
+
+func TestManyMessagesManySenders(t *testing.T) {
+	for name, mk := range networks(t) {
+		t.Run(name, func(t *testing.T) {
+			const senders, per = 4, 200
+			ids := []NodeID{Master}
+			for i := 0; i < senders; i++ {
+				ids = append(ids, NodeID(i))
+			}
+			nw := mk(ids)
+			defer closeAll(nw)
+			var wg sync.WaitGroup
+			for i := 0; i < senders; i++ {
+				wg.Add(1)
+				go func(id NodeID) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := nw[id].Send(Master, Envelope{Kind: 1, Body: []byte(fmt.Sprintf("%d-%d", id, j))}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(NodeID(i))
+			}
+			got := map[string]bool{}
+			for len(got) < senders*per {
+				env := recvOne(t, nw[Master])
+				got[string(env.Body)] = true
+			}
+			wg.Wait()
+			if len(got) != senders*per {
+				t.Errorf("received %d distinct messages, want %d", len(got), senders*per)
+			}
+		})
+	}
+}
+
+func TestTCPLargeBody(t *testing.T) {
+	nw, err := NewTCPNetwork([]NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(nw)
+	body := make([]byte, 1<<20)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	if err := nw[0].Send(1, Envelope{Kind: 2, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, nw[1])
+	if len(env.Body) != len(body) {
+		t.Fatalf("got %d bytes, want %d", len(env.Body), len(body))
+	}
+	for i := 0; i < len(body); i += 37 {
+		if env.Body[i] != body[i] {
+			t.Fatal("body corrupted in transit")
+		}
+	}
+}
+
+func TestTCPDoubleCloseSafe(t *testing.T) {
+	nw, err := NewTCPNetwork([]NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw[0].Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	nw[1].Close()
+}
+
+func closeAll(nw map[NodeID]Transport) {
+	for _, tr := range nw {
+		tr.Close()
+	}
+}

@@ -1,0 +1,129 @@
+// Package sched implements Fractal's distributed runtime (Section 4): an
+// application master coordinating a set of workers, each running multiple
+// execution cores; the depth-first step processing of Algorithm 1; the
+// from-scratch step execution of Algorithm 2; and the hierarchical
+// (internal + external) work-stealing mechanism of Section 4.2 with
+// master-coordinated quiescence detection.
+//
+// The paper builds this on Spark (master/worker scheduling) and Akka
+// (worker-to-worker actors); here both roles are played by the transports of
+// internal/rpc. Workers share the process address space, so the input graph
+// and the fractoid closures are shared by reference (Spark broadcasts and
+// closure serialization play that role in the original), while aggregation
+// results and stolen work prefixes always cross the transport as encoded
+// bytes — preserving the cost asymmetry between internal and external work
+// stealing that the hierarchical design exploits.
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"fractal/internal/metrics"
+)
+
+// WorkStealing selects the load-balancing configuration (the four scenarios
+// of Figure 16).
+type WorkStealing uint8
+
+const (
+	// WSNone disables both levels (configuration "1.Disabled").
+	WSNone WorkStealing = iota
+	// WSInternal enables only same-worker stealing ("2.Internal").
+	WSInternal
+	// WSExternal enables only cross-worker stealing ("3.External").
+	WSExternal
+	// WSBoth enables the full hierarchical strategy ("4.Internal+External").
+	WSBoth
+)
+
+// String implements fmt.Stringer.
+func (ws WorkStealing) String() string {
+	switch ws {
+	case WSNone:
+		return "disabled"
+	case WSInternal:
+		return "internal"
+	case WSExternal:
+		return "external"
+	case WSBoth:
+		return "internal+external"
+	}
+	return fmt.Sprintf("WorkStealing(%d)", uint8(ws))
+}
+
+func (ws WorkStealing) internal() bool { return ws == WSInternal || ws == WSBoth }
+func (ws WorkStealing) external() bool { return ws == WSExternal || ws == WSBoth }
+
+// Config describes a runtime deployment.
+type Config struct {
+	// Workers is the number of worker nodes (default 1).
+	Workers int
+	// CoresPerWorker is the number of execution cores per worker
+	// (default 1).
+	CoresPerWorker int
+	// WS selects the work-stealing configuration (default WSBoth).
+	WS WorkStealing
+	// UseTCP runs master/worker communication over real TCP sockets on
+	// 127.0.0.1 instead of in-process mailboxes.
+	UseTCP bool
+	// IdleSleep is how long an idle core sleeps between failed steal
+	// attempts. The default of 100µs keeps idle cores from starving busy
+	// ones on machines with few hardware threads.
+	IdleSleep time.Duration
+	// StatusInterval is the master's quiescence polling period (default
+	// 1ms).
+	StatusInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.CoresPerWorker <= 0 {
+		c.CoresPerWorker = 1
+	}
+	if c.IdleSleep <= 0 {
+		c.IdleSleep = 100 * time.Microsecond
+	}
+	if c.StatusInterval <= 0 {
+		c.StatusInterval = time.Millisecond
+	}
+	return c
+}
+
+// TotalCores returns Workers × CoresPerWorker.
+func (c Config) TotalCores() int { return c.Workers * c.CoresPerWorker }
+
+// StepReport summarizes the execution of one fractal step (the rows of
+// Figure 16 and the balance data of Figures 8 and 19).
+type StepReport struct {
+	// Index is the step's position in the job's step list.
+	Index int
+	// Workflow is the compact primitive string, e.g. "EEEA".
+	Workflow string
+	// Skipped marks effect-free steps the master did not execute.
+	Skipped bool
+	// Wall is the wall-clock duration of the step.
+	Wall time.Duration
+	// Balance is the per-core work distribution.
+	Balance metrics.Balance
+	// Utilization is busy-time / (cores × wall): the fraction of core-time
+	// spent holding work rather than idling for lack of it (the CPU
+	// utilization of Figure 8). Cores that are runnable but descheduled
+	// count as busy, so the measure is meaningful on hosts with fewer
+	// hardware threads than configured cores.
+	Utilization float64
+	// EC is the extension cost (candidate tests).
+	EC int64
+	// Subgraphs is the number of complete embeddings processed.
+	Subgraphs int64
+	// StealsInternal and StealsExternal count successful steals.
+	StealsInternal, StealsExternal int64
+	// StealBytes is the serialized volume shipped by external steals.
+	StealBytes int64
+	// StealOverhead is steal-time / busy-time.
+	StealOverhead float64
+	// PeakStateBytes is the peak enumerator-state estimate.
+	PeakStateBytes int64
+}

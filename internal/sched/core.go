@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"time"
+
+	"fractal/internal/enumerator"
+	"fractal/internal/rpc"
+	"fractal/internal/step"
+	"fractal/internal/subgraph"
+)
+
+// core is one execution core of a worker: it owns an Embedding (the mutable
+// subgraph of Algorithm 1) and a stack of subgraph enumerators, and runs the
+// depth-first step processing loop. Other cores (and the worker's message
+// router, on behalf of remote workers) steal from its enumerator stack.
+type core struct {
+	w          *worker
+	local      int // index within the worker
+	global     int // worker.id*CoresPerWorker + local
+	stack      enumerator.Stack
+	respCh     chan stealRespMsg // external steal responses routed here
+	extScratch []subgraph.Word
+}
+
+func newCore(w *worker, local int) *core {
+	return &core{
+		w:      w,
+		local:  local,
+		global: w.id*w.cfg.CoresPerWorker + local,
+		respCh: make(chan stealRespMsg, 4),
+	}
+}
+
+// run executes one step to global quiescence. It is the DFS-PROCESSING loop
+// of Algorithm 1 driven by the enumerator stack, extended with the steal
+// logic of Section 4.2.
+func (c *core) run(st *stepCtx) {
+	defer st.wg.Done()
+	start := time.Now()
+	var idle time.Duration
+
+	var emb *subgraph.Embedding
+	if st.custom != nil {
+		emb = subgraph.NewCustom(st.graph, st.custom.Clone())
+	} else {
+		emb = subgraph.New(st.graph, st.kind, st.plan)
+	}
+	c.drainResponses()
+	c.stack.Clear()
+	st.activeInc()
+	c.stack.Push(enumerator.NewRoot(c.global, st.totalCores, emb.InitialDomain()))
+
+	for {
+		e := c.stack.Top()
+		if e == nil {
+			// Out of local work. Internal steals are shared-memory scans,
+			// so they are retried at a fixed short cadence; external steals
+			// generate messages, so they back off exponentially — both to
+			// avoid flooding victims and so the master's quiescence
+			// detector can observe a window with no steal traffic in
+			// flight.
+			st.activeDec()
+			got := false
+			extBackoff := 1
+			attempt := 0
+			for !st.isDone() {
+				stealStart := time.Now()
+				st.activeInc()
+				if c.w.cfg.WS.internal() {
+					if prefix, ok := c.stealInternal(st); ok {
+						st.col.AddInternalSteal()
+						c.install(st, emb, prefix)
+						st.col.AddStealTime(time.Since(stealStart))
+						got = true
+						break
+					}
+				}
+				if c.w.cfg.WS.external() && attempt >= extBackoff {
+					attempt = 0
+					if extBackoff < 64 {
+						extBackoff *= 2
+					}
+					if prefix, ok := c.stealExternal(st); ok {
+						c.install(st, emb, prefix)
+						st.col.AddStealTime(time.Since(stealStart))
+						got = true
+						break
+					}
+				}
+				st.activeDec()
+				st.col.AddStealTime(time.Since(stealStart))
+				time.Sleep(c.w.cfg.IdleSleep)
+				idle += time.Since(stealStart)
+				attempt++
+			}
+			if !got {
+				st.col.AddBusyTime(time.Since(start) - idle)
+				return
+			}
+			continue
+		}
+		depth := e.Depth()
+		w, ok := e.Take()
+		if !ok {
+			c.stack.Pop()
+			continue
+		}
+		if depth == 0 && !emb.ValidInitial(w) {
+			continue
+		}
+		emb.TruncateTo(depth)
+		c.process(st, emb, depth, w)
+	}
+}
+
+// process applies the primitives that follow the depth-th extension to the
+// embedding extended by w (the recursive body of Algorithm 1, iterated).
+func (c *core) process(st *stepCtx, emb *subgraph.Embedding, depth int, w subgraph.Word) {
+	emb.Push(w)
+	st.processed.Add(1)
+	prims := st.s.Primitives
+	for i := st.s.ExtIdx[depth] + 1; i < len(prims); i++ {
+		p := &prims[i]
+		switch p.Kind {
+		case step.Extend:
+			exts, tested := emb.Extensions(c.extScratch[:0])
+			c.extScratch = exts
+			st.col.AddExtensionTests(c.global, int64(tested))
+			if len(exts) > 0 {
+				prefix := append([]subgraph.Word(nil), emb.Words()...)
+				c.stack.Push(enumerator.New(prefix, append([]subgraph.Word(nil), exts...)))
+				c.observeState(st)
+			}
+			return
+		case step.LocalFilter:
+			if !p.Filter(emb) {
+				return
+			}
+		case step.AggFilter:
+			store, ok := st.env.Get(p.AggName)
+			if !ok || !p.AggPred(emb, store) {
+				return
+			}
+		case step.Aggregate:
+			if !st.s.Computed[p.Agg.Name] {
+				p.Agg.Emit(emb, st.localAggs[c.local][p.Agg.Name])
+			}
+		case step.Visit:
+			p.VisitFn(emb)
+		}
+	}
+	// Complete embedding for this step.
+	st.col.AddSubgraphs(c.global, 1)
+}
+
+// stealInternal scans sibling cores round-robin and steals the shallowest
+// available prefix (case (a)/(c) of Figure 9).
+func (c *core) stealInternal(st *stepCtx) ([]subgraph.Word, bool) {
+	n := len(c.w.cores)
+	for off := 1; off < n; off++ {
+		victim := c.w.cores[(c.local+off)%n]
+		if prefix, ok := victim.stack.StealShallowest(); ok {
+			return prefix, true
+		}
+	}
+	return nil, false
+}
+
+// stealExternal sends steal requests to the other workers round-robin and
+// waits for each response (case (b) of Figure 9). The wait is abandoned when
+// the master ends the step: post-quiescence responses can only be empty.
+func (c *core) stealExternal(st *stepCtx) ([]subgraph.Word, bool) {
+	w := c.w
+	nw := w.cfg.Workers
+	if nw <= 1 {
+		return nil, false
+	}
+	for off := 1; off < nw; off++ {
+		victim := rpc.NodeID((w.id + off) % nw)
+		req := stealReqMsg{Job: st.job, Step: st.index, Worker: w.id, Core: c.local}
+		w.reqSent.Add(1)
+		if err := w.tr.Send(victim, rpc.Envelope{Kind: kStealReq, Body: encode(req)}); err != nil {
+			w.reqSent.Add(-1) // never left this node
+			continue
+		}
+		for {
+			select {
+			case resp := <-c.respCh:
+				if resp.Job != st.job || resp.Step != st.index {
+					continue // stale response from an earlier step
+				}
+				if len(resp.Prefix) > 0 {
+					st.col.AddExternalSteal(int64(4 * len(resp.Prefix)))
+					return resp.Prefix, true
+				}
+			case <-st.doneCh:
+				return nil, false
+			}
+			break
+		}
+	}
+	return nil, false
+}
+
+// install rebuilds the embedding from a stolen prefix and processes its last
+// word exactly as the victim would have.
+func (c *core) install(st *stepCtx, emb *subgraph.Embedding, prefix []subgraph.Word) {
+	last := prefix[len(prefix)-1]
+	emb.Replay(prefix[:len(prefix)-1])
+	depth := len(prefix) - 1
+	if depth == 0 && !emb.ValidInitial(last) {
+		return
+	}
+	c.process(st, emb, depth, last)
+}
+
+// drainResponses discards stale steal responses left from a previous step.
+func (c *core) drainResponses() {
+	for {
+		select {
+		case <-c.respCh:
+		default:
+			return
+		}
+	}
+}
+
+// observeState records the current intermediate-state estimate: in Fractal
+// the only live state is the enumerator stacks (prefixes plus extension
+// lists), which is why memory stays flat as depth grows (Table 2). The core
+// updates its own slot and observes the instantaneous sum across cores.
+func (c *core) observeState(st *stepCtx) {
+	st.stateBytes[c.global].Store(c.stack.StateBytes())
+	var total int64
+	for i := range st.stateBytes {
+		total += st.stateBytes[i].Load()
+	}
+	st.col.ObserveStateBytes(total)
+}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"fractal/internal/subgraph"
+)
+
+// Message kinds carried in rpc.Envelope.Kind.
+const (
+	kStepStart uint8 = iota + 1
+	kStepEnd
+	kAggData
+	kAggDone
+	kStatusPing
+	kStatusReport
+	kStealReq
+	kStealResp
+	kShutdown
+)
+
+// stepStartMsg tells a worker to start executing a step.
+type stepStartMsg struct {
+	Job, Step int
+}
+
+// stepEndMsg tells a worker the step is globally quiescent: stop cores and
+// report aggregation partials.
+type stepEndMsg struct {
+	Job, Step int
+}
+
+// aggDataMsg carries one worker's partial aggregation for one name.
+type aggDataMsg struct {
+	Job, Step int
+	Worker    int
+	Name      string
+	Data      []byte
+}
+
+// aggDoneMsg signals that a worker has sent all of its partials.
+type aggDoneMsg struct {
+	Job, Step int
+	Worker    int
+	Sent      int
+}
+
+// statusPingMsg requests a quiescence status report.
+type statusPingMsg struct {
+	Job, Step int
+	Round     int64
+}
+
+// statusReportMsg is a worker's quiescence report: instantaneous activity
+// plus monotone progress and message-balance counters.
+type statusReportMsg struct {
+	Job, Step int
+	Round     int64
+	Worker    int
+	Active    int64
+	Processed int64
+	ReqSent   int64
+	RespRecv  int64
+	ReqRecv   int64
+	RespSent  int64
+}
+
+// stealReqMsg asks a worker to donate one enumeration prefix.
+type stealReqMsg struct {
+	Job, Step int
+	Worker    int // requesting worker
+	Core      int // requesting core (worker-local index)
+}
+
+// stealRespMsg answers a stealReqMsg. An empty Prefix means no work.
+type stealRespMsg struct {
+	Job, Step int
+	Core      int // destination core (worker-local index)
+	Prefix    []subgraph.Word
+}
+
+// encode gob-encodes a message body.
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("sched: encoding %T: %v", v, err)) // all bodies are known types
+	}
+	return buf.Bytes()
+}
+
+// decode gob-decodes a message body.
+func decode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"fractal/internal/subgraph"
+)
+
+// Property: across random graphs and depths, the distributed runtime with
+// full hierarchical work stealing counts exactly as many embeddings as the
+// single-threaded reference, for both vertex- and edge-induced strategies.
+func TestDistributedCountsProperty(t *testing.T) {
+	rt, err := New(Config{Workers: 2, CoresPerWorker: 2, WS: WSBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	f := func(seed int64, dense bool, edgeKind bool) bool {
+		p := 0.12
+		if dense {
+			p = 0.3
+		}
+		g := randomGraph(25, p, 2, seed)
+		kind := subgraph.VertexInduced
+		if edgeKind {
+			kind = subgraph.EdgeInduced
+		}
+		depth := 3
+		if edgeKind && dense {
+			depth = 2 // keep edge-induced enumeration bounded
+		}
+		want := refCount(g, kind, nil, depth)
+		var got atomic.Int64
+		if _, err := rt.Run(countJob(g, kind, nil, depth, &got)); err != nil {
+			return false
+		}
+		return got.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the per-step metrics are internally consistent — total core
+// work equals EC plus emitted subgraphs, and makespan never exceeds total.
+func TestMetricsConsistencyProperty(t *testing.T) {
+	rt, err := New(Config{Workers: 1, CoresPerWorker: 4, WS: WSInternal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	f := func(seed int64) bool {
+		g := randomGraph(30, 0.15, 1, seed)
+		var c atomic.Int64
+		res, err := rt.Run(countJob(g, subgraph.VertexInduced, nil, 3, &c))
+		if err != nil {
+			return false
+		}
+		for _, s := range res.Steps {
+			if s.Skipped {
+				continue
+			}
+			if s.Balance.Total != s.EC+s.Subgraphs {
+				return false
+			}
+			if s.Balance.Makespan > s.Balance.Total {
+				return false
+			}
+			if s.Balance.Makespan == 0 && s.Subgraphs > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,411 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fractal/internal/agg"
+	"fractal/internal/graph"
+	"fractal/internal/metrics"
+	"fractal/internal/pattern"
+	"fractal/internal/rpc"
+	"fractal/internal/step"
+	"fractal/internal/subgraph"
+)
+
+// Job is one fractoid execution: a workflow over an input graph with a given
+// extension strategy, evaluated against an environment of previously
+// computed aggregations.
+type Job struct {
+	// Graph is the input graph (or a reduced view of it, Section 4.3).
+	Graph *graph.Graph
+	// Kind selects the extension strategy.
+	Kind subgraph.Kind
+	// Plan is required iff Kind is PatternInduced.
+	Plan *pattern.Plan
+	// Custom optionally overrides extension-candidate generation
+	// (Appendix B); cloned per execution core. Only valid with
+	// VertexInduced.
+	Custom subgraph.CustomExtender
+	// Workflow is the primitive sequence to execute.
+	Workflow step.Workflow
+	// Env holds precomputed aggregations readable by AggFilter primitives
+	// (e.g. the FSM loop's "support" from a previous execution). May be
+	// nil.
+	Env *agg.Registry
+}
+
+// Result is the outcome of a Job.
+type Result struct {
+	// Env contains every aggregation computed by the job (plus the input
+	// environment's entries).
+	Env *agg.Registry
+	// Steps reports per-step execution metrics.
+	Steps []StepReport
+	// Wall is the total wall-clock time.
+	Wall time.Duration
+}
+
+// TotalEC sums the extension cost across steps.
+func (r *Result) TotalEC() int64 {
+	var t int64
+	for _, s := range r.Steps {
+		t += s.EC
+	}
+	return t
+}
+
+// TotalSubgraphs sums processed complete embeddings across steps.
+func (r *Result) TotalSubgraphs() int64 {
+	var t int64
+	for _, s := range r.Steps {
+		t += s.Subgraphs
+	}
+	return t
+}
+
+// jobRun is the shared (in-process) state of the job under execution,
+// published by the master before broadcasting step starts. In the paper this
+// is the fractoid piggybacked on the Spark job submission.
+type jobRun struct {
+	job        int
+	graph      *graph.Graph
+	kind       subgraph.Kind
+	plan       *pattern.Plan
+	custom     subgraph.CustomExtender
+	steps      []*step.Step
+	env        *agg.Registry
+	col        *metrics.Collector
+	stateBytes []atomic.Int64
+}
+
+// Runtime is the master plus its workers. Create with New, run any number
+// of jobs with Run, and release with Close.
+type Runtime struct {
+	cfg     Config
+	master  rpc.Transport
+	workers []*worker
+
+	mu     sync.Mutex
+	run    *jobRun
+	jobSeq int
+	closed bool
+}
+
+// New builds and starts a runtime.
+func New(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	ids := []rpc.NodeID{rpc.Master}
+	for i := 0; i < cfg.Workers; i++ {
+		ids = append(ids, rpc.NodeID(i))
+	}
+	var (
+		nw  map[rpc.NodeID]rpc.Transport
+		err error
+	)
+	if cfg.UseTCP {
+		nw, err = rpc.NewTCPNetwork(ids)
+		if err != nil {
+			return nil, fmt.Errorf("sched: building TCP network: %w", err)
+		}
+	} else {
+		nw = rpc.NewLoopbackNetwork(ids)
+	}
+	rt := &Runtime{cfg: cfg, master: nw[rpc.Master]}
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker(i, cfg, rt, nw[rpc.NodeID(i)])
+		rt.workers = append(rt.workers, w)
+		w.start()
+	}
+	return rt, nil
+}
+
+// Config returns the runtime's effective configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Close shuts the runtime down. It must not be called concurrently with Run.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	for i := range r.workers {
+		r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kShutdown})
+	}
+	for _, w := range r.workers {
+		w.stop()
+		w.tr.Close()
+	}
+	r.master.Close()
+}
+
+func (r *Runtime) currentRun() *jobRun {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.run
+}
+
+// Run executes one job: the workflow is split into fractal steps around its
+// synchronization points (Algorithm 2) and each effectful step is executed
+// from scratch across all workers.
+func (r *Runtime) Run(job Job) (*Result, error) {
+	if job.Graph == nil {
+		return nil, fmt.Errorf("sched: job has no graph")
+	}
+	if (job.Kind == subgraph.PatternInduced) != (job.Plan != nil) {
+		return nil, fmt.Errorf("sched: plan must be set exactly for pattern-induced jobs")
+	}
+	if job.Custom != nil && job.Kind != subgraph.VertexInduced {
+		return nil, fmt.Errorf("sched: custom enumerators require a vertex-induced job")
+	}
+	env := job.Env
+	if env == nil {
+		env = agg.NewRegistry()
+	}
+	pre := map[string]bool{}
+	for _, n := range env.Names() {
+		pre[n] = true
+	}
+	steps, err := step.Split(job.Workflow, pre)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("sched: runtime closed")
+	}
+	r.jobSeq++
+	jobID := r.jobSeq
+	r.mu.Unlock()
+
+	res := &Result{Env: env}
+	start := time.Now()
+	for i, s := range steps {
+		rep := StepReport{Index: i, Workflow: step.Workflow(s.Primitives).String()}
+		if r.effectFree(s) {
+			rep.Skipped = true
+			res.Steps = append(res.Steps, rep)
+			continue
+		}
+		col := metrics.NewCollector(r.cfg.TotalCores())
+		run := &jobRun{
+			job:        jobID,
+			graph:      job.Graph,
+			kind:       job.Kind,
+			plan:       job.Plan,
+			custom:     job.Custom,
+			steps:      steps,
+			env:        env,
+			col:        col,
+			stateBytes: make([]atomic.Int64, r.cfg.TotalCores()),
+		}
+		r.mu.Lock()
+		r.run = run
+		r.mu.Unlock()
+
+		stepStart := time.Now()
+		if err := r.executeStep(run, i, s); err != nil {
+			r.mu.Lock()
+			r.run = nil
+			r.mu.Unlock()
+			return nil, fmt.Errorf("sched: step %d: %w", i, err)
+		}
+		r.mu.Lock()
+		r.run = nil
+		r.mu.Unlock()
+
+		in, ex := col.Steals()
+		rep.Wall = time.Since(stepStart)
+		rep.Balance = col.Balance()
+		if rep.Wall > 0 {
+			rep.Utilization = float64(col.BusyTime()) / (float64(rep.Wall) * float64(r.cfg.TotalCores()))
+			if rep.Utilization > 1 {
+				rep.Utilization = 1
+			}
+		}
+		rep.EC = col.ExtensionTests()
+		rep.Subgraphs = col.Subgraphs()
+		rep.StealsInternal, rep.StealsExternal = in, ex
+		rep.StealBytes = col.StealBytes()
+		rep.StealOverhead = col.StealOverhead()
+		rep.PeakStateBytes = col.PeakStateBytes()
+		res.Steps = append(res.Steps, rep)
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// effectFree reports whether a step computes no new aggregation and visits
+// nothing, so executing it would only re-enumerate with no observable
+// output.
+func (r *Runtime) effectFree(s *step.Step) bool {
+	if len(s.AggSpecs()) > 0 {
+		return false
+	}
+	for _, p := range s.Primitives {
+		if p.Kind == step.Visit {
+			return false
+		}
+	}
+	return true
+}
+
+// executeStep drives one fractal step: broadcast start, poll for global
+// quiescence, broadcast end, and merge the workers' aggregation partials.
+func (r *Runtime) executeStep(run *jobRun, idx int, s *step.Step) error {
+	startBody := encode(stepStartMsg{Job: run.job, Step: idx})
+	for i := range r.workers {
+		if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepStart, Body: startBody}); err != nil {
+			return fmt.Errorf("starting worker %d: %w", i, err)
+		}
+	}
+	if err := r.awaitQuiescence(run, idx); err != nil {
+		return err
+	}
+	endBody := encode(stepEndMsg{Job: run.job, Step: idx})
+	for i := range r.workers {
+		if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepEnd, Body: endBody}); err != nil {
+			return fmt.Errorf("ending worker %d: %w", i, err)
+		}
+	}
+	return r.collectAggregations(run, idx, s)
+}
+
+// quiescence detection: the step is complete when, over two consecutive
+// status rounds, every worker reports zero active cores, the global
+// request/response counters balance (no stolen work in flight), and the
+// monotone processed counter has not advanced. Cores follow the discipline
+// of marking themselves active before acquiring work, which makes
+// "active == 0" imply "no core holds unprocessed work".
+func (r *Runtime) awaitQuiescence(run *jobRun, idx int) error {
+	type snap struct {
+		ok        bool
+		processed int64
+	}
+	var prev snap
+	round := int64(0)
+	reports := make(map[int]statusReportMsg, len(r.workers))
+	ticker := time.NewTicker(r.cfg.StatusInterval)
+	defer ticker.Stop()
+	deadline := time.After(10 * time.Minute)
+
+	for {
+		round++
+		ping := encode(statusPingMsg{Job: run.job, Step: idx, Round: round})
+		for i := range r.workers {
+			if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStatusPing, Body: ping}); err != nil {
+				return fmt.Errorf("pinging worker %d: %w", i, err)
+			}
+		}
+		clear(reports)
+		for len(reports) < len(r.workers) {
+			select {
+			case env, ok := <-r.master.Recv():
+				if !ok {
+					return fmt.Errorf("master transport closed")
+				}
+				if env.Kind != kStatusReport {
+					continue // stale agg data etc.
+				}
+				var m statusReportMsg
+				if decode(env.Body, &m) != nil {
+					continue
+				}
+				if m.Job != run.job || m.Step != idx || m.Round != round {
+					continue
+				}
+				reports[m.Worker] = m
+			case <-deadline:
+				return fmt.Errorf("quiescence timeout")
+			}
+		}
+		var cur snap
+		cur.ok = true
+		var reqSent, respRecv, reqRecv, respSent int64
+		for _, m := range reports {
+			if m.Active != 0 {
+				cur.ok = false
+			}
+			cur.processed += m.Processed
+			reqSent += m.ReqSent
+			respRecv += m.RespRecv
+			reqRecv += m.ReqRecv
+			respSent += m.RespSent
+		}
+		if reqSent != respRecv || reqRecv != respSent {
+			cur.ok = false
+		}
+		if cur.ok && prev.ok && cur.processed == prev.processed {
+			return nil
+		}
+		prev = cur
+		select {
+		case <-ticker.C:
+		case <-deadline:
+			return fmt.Errorf("quiescence timeout")
+		}
+	}
+}
+
+// collectAggregations gathers every worker's partials, merges them into the
+// environment, and applies final aggregation filters.
+func (r *Runtime) collectAggregations(run *jobRun, idx int, s *step.Step) error {
+	specs := s.AggSpecs()
+	merged := map[string]agg.Store{}
+	for _, sp := range specs {
+		merged[sp.Name] = sp.Proto.NewEmpty()
+	}
+	doneWorkers := 0
+	expected := map[int]int{}
+	received := map[int]int{}
+	deadline := time.After(10 * time.Minute)
+	for doneWorkers < len(r.workers) {
+		select {
+		case env, ok := <-r.master.Recv():
+			if !ok {
+				return fmt.Errorf("master transport closed")
+			}
+			switch env.Kind {
+			case kAggData:
+				var m aggDataMsg
+				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
+					continue
+				}
+				store, ok := merged[m.Name]
+				if !ok {
+					continue
+				}
+				if err := store.DecodeAndMerge(m.Data); err != nil {
+					return fmt.Errorf("merging %q from worker %d: %w", m.Name, m.Worker, err)
+				}
+				received[m.Worker]++
+				if exp, ok := expected[m.Worker]; ok && received[m.Worker] == exp {
+					doneWorkers++
+				}
+			case kAggDone:
+				var m aggDoneMsg
+				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
+					continue
+				}
+				expected[m.Worker] = m.Sent
+				if received[m.Worker] == m.Sent {
+					doneWorkers++
+				}
+			}
+		case <-deadline:
+			return fmt.Errorf("aggregation collection timeout")
+		}
+	}
+	for name, store := range merged {
+		store.ApplyFilter()
+		run.env.Put(name, store)
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fractal/internal/agg"
+	"fractal/internal/graph"
+	"fractal/internal/metrics"
+	"fractal/internal/pattern"
+	"fractal/internal/rpc"
+	"fractal/internal/step"
+	"fractal/internal/subgraph"
+)
+
+// stepCtx is the per-step execution context shared by a worker's cores.
+type stepCtx struct {
+	job, index int
+	s          *step.Step
+	graph      *graph.Graph
+	kind       subgraph.Kind
+	plan       *pattern.Plan
+	custom     subgraph.CustomExtender
+	env        *agg.Registry
+	col        *metrics.Collector
+	totalCores int
+
+	localAggs  []map[string]agg.Store // per core, per aggregation name
+	stateBytes []atomic.Int64         // per global core
+
+	active    atomic.Int64
+	processed atomic.Int64
+	doneCh    chan struct{}
+	doneOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+func (st *stepCtx) activeInc() { st.active.Add(1) }
+func (st *stepCtx) activeDec() { st.active.Add(-1) }
+
+func (st *stepCtx) isDone() bool {
+	select {
+	case <-st.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (st *stepCtx) finish() { st.doneOnce.Do(func() { close(st.doneCh) }) }
+
+// worker is one worker node: it owns cores and a message router serving
+// step control, status pings, and external steal requests.
+type worker struct {
+	id    int
+	cfg   Config
+	rt    *Runtime
+	tr    rpc.Transport
+	cores []*core
+
+	mu  sync.Mutex
+	cur *stepCtx // step under execution, nil when idle
+
+	// Quiescence counters (monotone over the lifetime of a step; reset per
+	// step).
+	reqSent  atomic.Int64
+	respRecv atomic.Int64
+	reqRecv  atomic.Int64
+	respSent atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+func newWorker(id int, cfg Config, rt *Runtime, tr rpc.Transport) *worker {
+	w := &worker{id: id, cfg: cfg, rt: rt, tr: tr}
+	for i := 0; i < cfg.CoresPerWorker; i++ {
+		w.cores = append(w.cores, newCore(w, i))
+	}
+	return w
+}
+
+// start launches the message router.
+func (w *worker) start() {
+	w.wg.Add(1)
+	go w.route()
+}
+
+// stop waits for the router to exit (after the transport closes or a
+// shutdown message arrives).
+func (w *worker) stop() { w.wg.Wait() }
+
+func (w *worker) route() {
+	defer w.wg.Done()
+	for env := range w.tr.Recv() {
+		switch env.Kind {
+		case kStepStart:
+			var m stepStartMsg
+			if decode(env.Body, &m) == nil {
+				w.startStep(m)
+			}
+		case kStepEnd:
+			var m stepEndMsg
+			if decode(env.Body, &m) == nil {
+				w.endStep(m)
+			}
+		case kStatusPing:
+			var m statusPingMsg
+			if decode(env.Body, &m) == nil {
+				w.reportStatus(m)
+			}
+		case kStealReq:
+			var m stealReqMsg
+			if decode(env.Body, &m) == nil {
+				w.serveSteal(m)
+			}
+		case kStealResp:
+			var m stealRespMsg
+			if decode(env.Body, &m) == nil {
+				w.routeStealResp(m)
+			}
+		case kShutdown:
+			w.abortCurrent()
+			return
+		}
+	}
+	w.abortCurrent()
+}
+
+// startStep builds the step context from the runtime's published run state
+// and launches the cores.
+func (w *worker) startStep(m stepStartMsg) {
+	run := w.rt.currentRun()
+	if run == nil || run.job != m.Job || m.Step >= len(run.steps) {
+		return
+	}
+	st := &stepCtx{
+		job:        m.Job,
+		index:      m.Step,
+		s:          run.steps[m.Step],
+		graph:      run.graph,
+		kind:       run.kind,
+		plan:       run.plan,
+		custom:     run.custom,
+		env:        run.env,
+		col:        run.col,
+		totalCores: w.cfg.TotalCores(),
+		stateBytes: run.stateBytes,
+		doneCh:     make(chan struct{}),
+	}
+	w.reqSent.Store(0)
+	w.respRecv.Store(0)
+	w.reqRecv.Store(0)
+	w.respSent.Store(0)
+
+	specs := st.s.AggSpecs()
+	st.localAggs = make([]map[string]agg.Store, len(w.cores))
+	for i := range w.cores {
+		st.localAggs[i] = map[string]agg.Store{}
+		for _, sp := range specs {
+			st.localAggs[i][sp.Name] = sp.Proto.NewEmpty()
+		}
+	}
+
+	w.mu.Lock()
+	w.cur = st
+	w.mu.Unlock()
+
+	st.wg.Add(len(w.cores))
+	for _, c := range w.cores {
+		go c.run(st)
+	}
+}
+
+// endStep stops the cores, merges the per-core aggregation partials, and
+// ships them to the master.
+func (w *worker) endStep(m stepEndMsg) {
+	w.mu.Lock()
+	st := w.cur
+	w.mu.Unlock()
+	if st == nil || st.job != m.Job || st.index != m.Step {
+		return
+	}
+	st.finish()
+	st.wg.Wait()
+	w.mu.Lock()
+	w.cur = nil
+	w.mu.Unlock()
+
+	sent := 0
+	for _, sp := range st.s.AggSpecs() {
+		merged := sp.Proto.NewEmpty()
+		for i := range w.cores {
+			if err := merged.MergeFrom(st.localAggs[i][sp.Name]); err != nil {
+				continue
+			}
+		}
+		data, err := merged.Encode()
+		if err != nil {
+			continue
+		}
+		msg := aggDataMsg{Job: st.job, Step: st.index, Worker: w.id, Name: sp.Name, Data: data}
+		if w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggData, Body: encode(msg)}) == nil {
+			sent++
+		}
+	}
+	done := aggDoneMsg{Job: st.job, Step: st.index, Worker: w.id, Sent: sent}
+	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggDone, Body: encode(done)})
+}
+
+// abortCurrent releases cores when the worker shuts down mid-step.
+func (w *worker) abortCurrent() {
+	w.mu.Lock()
+	st := w.cur
+	w.cur = nil
+	w.mu.Unlock()
+	if st != nil {
+		st.finish()
+		st.wg.Wait()
+	}
+}
+
+// reportStatus answers a quiescence ping.
+func (w *worker) reportStatus(m statusPingMsg) {
+	w.mu.Lock()
+	st := w.cur
+	w.mu.Unlock()
+	rep := statusReportMsg{
+		Job: m.Job, Step: m.Step, Round: m.Round, Worker: w.id,
+		ReqSent:  w.reqSent.Load(),
+		RespRecv: w.respRecv.Load(),
+		ReqRecv:  w.reqRecv.Load(),
+		RespSent: w.respSent.Load(),
+	}
+	if st != nil && st.job == m.Job && st.index == m.Step {
+		rep.Active = st.active.Load()
+		rep.Processed = st.processed.Load()
+	}
+	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kStatusReport, Body: encode(rep)})
+}
+
+// serveSteal donates one enumeration prefix to a remote thief, scanning the
+// local cores' stacks shallowest-first (the separate donor thread of
+// Figure 9(b) is this router goroutine).
+func (w *worker) serveSteal(m stealReqMsg) {
+	w.reqRecv.Add(1)
+	resp := stealRespMsg{Job: m.Job, Step: m.Step, Core: m.Core}
+	w.mu.Lock()
+	st := w.cur
+	w.mu.Unlock()
+	if st != nil && st.job == m.Job && st.index == m.Step && !st.isDone() {
+		for _, c := range w.cores {
+			if prefix, ok := c.stack.StealShallowest(); ok {
+				resp.Prefix = prefix
+				break
+			}
+		}
+	}
+	w.respSent.Add(1)
+	w.tr.Send(rpc.NodeID(m.Worker), rpc.Envelope{Kind: kStealResp, Body: encode(resp)})
+}
+
+// routeStealResp hands a steal response to the requesting core. Receipt is
+// counted here, at the router, symmetrically with respSent at the victim's
+// router, so the master's balance check certifies that no response (and
+// hence no stolen work) is in flight.
+func (w *worker) routeStealResp(m stealRespMsg) {
+	w.respRecv.Add(1)
+	if m.Core < 0 || m.Core >= len(w.cores) {
+		return
+	}
+	select {
+	case w.cores[m.Core].respCh <- m:
+	default:
+		// The core abandoned the wait (step ended). Post-quiescence
+		// responses are always empty, so dropping is safe; leftovers in
+		// the channel are drained at the next step start.
+	}
+}

@@ -1,0 +1,535 @@
+// Package subgraph implements the three subgraph representations of the
+// Fractal computation model (Section 3, Figure 1): vertex-induced,
+// edge-induced, and pattern-induced embeddings, together with their
+// extension-candidate generation and duplicate-free canonical-generation
+// checks.
+//
+// Duplicate freedom. For vertex- and edge-induced embeddings, every subgraph
+// is generated exactly once by accepting only its canonical generation
+// sequence: the order that always appends the smallest-identifier element
+// connected to the current prefix (with the globally smallest element
+// first). Given a canonical prefix m₀,…,m₍ₖ₋₁₎, a candidate w extends it
+// canonically iff w > m₀ and w > mᵢ for every i > f, where f is the first
+// prefix index adjacent to w — an O(1) test with a suffix-maximum table.
+// Pattern-induced embeddings instead use the symmetry-breaking conditions of
+// the pattern plan (Grochow–Kellis), checked during candidate generation.
+package subgraph
+
+import (
+	"fmt"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+// Kind selects the extension strategy of an embedding.
+type Kind uint8
+
+const (
+	// VertexInduced grows vertex-by-vertex; every edge between the new
+	// vertex and the current vertices is included (motifs, cliques).
+	VertexInduced Kind = iota
+	// EdgeInduced grows edge-by-edge (FSM, keyword search).
+	EdgeInduced
+	// PatternInduced grows vertex-by-vertex guided by a reference pattern
+	// (subgraph querying and matching).
+	PatternInduced
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case VertexInduced:
+		return "vertex-induced"
+	case EdgeInduced:
+		return "edge-induced"
+	case PatternInduced:
+		return "pattern-induced"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Word is one extension unit: a vertex ID for vertex- and pattern-induced
+// embeddings, an edge ID for edge-induced ones.
+type Word = int32
+
+// Embedding is the mutable subgraph under enumeration on one execution core.
+// It is a stack: Push extends by one word, Pop reverts the last extension.
+// Embeddings are not safe for concurrent use; each core owns one and rebuilds
+// it by Replay when work is stolen.
+type Embedding struct {
+	g    *graph.Graph
+	kind Kind
+	plan *pattern.Plan
+
+	words    []Word
+	vertices []graph.VertexID
+	edges    []graph.EdgeID
+	// edgesAt[i] = number of edges appended by level i, for Pop.
+	edgesAt []int
+
+	// Vertex-induced state: memberAdj[i] = bitmask of members adjacent to
+	// member i; tailMax[i] = max word of members[i:].
+	memberAdj []uint32
+	tailMax   []Word
+
+	// Edge-induced state: covered vertex list (for candidate generation).
+	cover   []graph.VertexID
+	coverAt []int // cover growth per level
+
+	// Scratch for Extensions: candidate -> first adjacent member index.
+	candFirst map[Word]int
+	candList  []Word
+	scratchE  []graph.EdgeID
+
+	// custom, when non-nil, overrides extension-candidate generation
+	// (Appendix B; see CustomExtender).
+	custom CustomExtender
+}
+
+// New returns an empty embedding over g. plan is required iff kind is
+// PatternInduced.
+func New(g *graph.Graph, kind Kind, plan *pattern.Plan) *Embedding {
+	if (kind == PatternInduced) != (plan != nil) {
+		panic("subgraph: plan must be given exactly for pattern-induced embeddings")
+	}
+	return &Embedding{g: g, kind: kind, plan: plan, candFirst: map[Word]int{}}
+}
+
+// Graph returns the input graph.
+func (e *Embedding) Graph() *graph.Graph { return e.g }
+
+// Kind returns the extension strategy.
+func (e *Embedding) Kind() Kind { return e.kind }
+
+// Plan returns the matching plan (pattern-induced only, else nil).
+func (e *Embedding) Plan() *pattern.Plan { return e.plan }
+
+// Len returns the number of words pushed (the extension depth).
+func (e *Embedding) Len() int { return len(e.words) }
+
+// Words returns the pushed words in order; callers must not mutate.
+func (e *Embedding) Words() []Word { return e.words }
+
+// Vertices returns the embedding's vertices in discovery order.
+func (e *Embedding) Vertices() []graph.VertexID { return e.vertices }
+
+// Edges returns the embedding's edges in discovery order.
+func (e *Embedding) Edges() []graph.EdgeID { return e.edges }
+
+// NumVertices returns |V(S)| of the embedding.
+func (e *Embedding) NumVertices() int { return len(e.vertices) }
+
+// NumEdges returns |E(S)| of the embedding.
+func (e *Embedding) NumEdges() int { return len(e.edges) }
+
+// InitialDomain returns the number of depth-0 extension words: |V(G)| for
+// vertex- and pattern-induced embeddings, |E(G)| for edge-induced ones.
+func (e *Embedding) InitialDomain() int {
+	if e.kind == EdgeInduced {
+		return e.g.NumEdges()
+	}
+	return e.g.NumVertices()
+}
+
+// ValidInitial reports whether word w is a valid depth-0 extension: always
+// true except for pattern-induced embeddings, which constrain the first
+// bound vertex by the plan's level-0 label.
+func (e *Embedding) ValidInitial(w Word) bool {
+	if e.kind != PatternInduced {
+		return true
+	}
+	want := e.plan.VLabels[0]
+	return want == pattern.NoLabel ||
+		graph.ContainsLabel(e.g.VertexLabels(graph.VertexID(w)), want)
+}
+
+// Push extends the embedding by w. w must come from Extensions (or
+// ValidInitial at depth 0); Push does not re-validate.
+func (e *Embedding) Push(w Word) {
+	switch e.kind {
+	case VertexInduced, PatternInduced:
+		e.pushVertex(graph.VertexID(w))
+	case EdgeInduced:
+		e.pushEdge(graph.EdgeID(w))
+	}
+	e.words = append(e.words, w)
+	e.updateTails()
+	if e.custom != nil {
+		e.custom.Pushed(e, w)
+	}
+}
+
+// Pop reverts the most recent Push.
+func (e *Embedding) Pop() {
+	if e.custom != nil {
+		e.custom.Popped(e)
+	}
+	k := len(e.words) - 1
+	ne := e.edgesAt[k]
+	e.edges = e.edges[:len(e.edges)-ne]
+	e.edgesAt = e.edgesAt[:k]
+	switch e.kind {
+	case VertexInduced, PatternInduced:
+		e.vertices = e.vertices[:len(e.vertices)-1]
+		if e.kind == VertexInduced {
+			e.memberAdj = e.memberAdj[:k]
+			for i := range e.memberAdj {
+				e.memberAdj[i] &^= 1 << uint(k)
+			}
+		}
+	case EdgeInduced:
+		nc := e.coverAt[k]
+		e.cover = e.cover[:len(e.cover)-nc]
+		e.coverAt = e.coverAt[:k]
+		dropVertices := nc
+		e.vertices = e.vertices[:len(e.vertices)-dropVertices]
+	}
+	e.words = e.words[:k]
+	e.updateTails()
+}
+
+// TruncateTo pops until Len() == depth.
+func (e *Embedding) TruncateTo(depth int) {
+	for len(e.words) > depth {
+		e.Pop()
+	}
+}
+
+// Reset empties the embedding.
+func (e *Embedding) Reset() { e.TruncateTo(0) }
+
+// Replay resets the embedding and pushes all of words. Used to rebuild local
+// state from a stolen enumeration prefix.
+func (e *Embedding) Replay(words []Word) {
+	e.Reset()
+	for _, w := range words {
+		e.Push(w)
+	}
+}
+
+func (e *Embedding) pushVertex(v graph.VertexID) {
+	k := len(e.words)
+	if e.kind == VertexInduced {
+		var mask uint32
+		ne := 0
+		for i, m := range e.vertices {
+			e.scratchE = e.g.EdgesBetween(v, m, e.scratchE[:0])
+			if len(e.scratchE) > 0 {
+				mask |= 1 << uint(i)
+				e.edges = append(e.edges, e.scratchE...)
+				ne += len(e.scratchE)
+			}
+		}
+		for i := range e.memberAdj {
+			if mask&(1<<uint(i)) != 0 {
+				e.memberAdj[i] |= 1 << uint(k)
+			}
+		}
+		e.memberAdj = append(e.memberAdj, mask)
+		e.edgesAt = append(e.edgesAt, ne)
+	} else {
+		// Pattern-induced: add one edge per backward reference of this level.
+		ne := 0
+		for _, b := range e.plan.Back[k] {
+			id := e.edgeMatching(v, e.vertices[b.Pos], b.ELabel)
+			if id != graph.NilEdge {
+				e.edges = append(e.edges, id)
+				ne++
+			}
+		}
+		e.edgesAt = append(e.edgesAt, ne)
+	}
+	e.vertices = append(e.vertices, v)
+}
+
+func (e *Embedding) pushEdge(id graph.EdgeID) {
+	ed := e.g.EdgeByID(id)
+	e.edges = append(e.edges, id)
+	e.edgesAt = append(e.edgesAt, 1)
+	nc := 0
+	if !e.hasVertex(ed.Src) {
+		e.cover = append(e.cover, ed.Src)
+		e.vertices = append(e.vertices, ed.Src)
+		nc++
+	}
+	if !e.hasVertex(ed.Dst) {
+		e.cover = append(e.cover, ed.Dst)
+		e.vertices = append(e.vertices, ed.Dst)
+		nc++
+	}
+	e.coverAt = append(e.coverAt, nc)
+}
+
+func (e *Embedding) hasVertex(v graph.VertexID) bool {
+	for _, u := range e.vertices {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeMatching returns an edge between u and v whose label matches want
+// (NoLabel matches any), or NilEdge.
+func (e *Embedding) edgeMatching(u, v graph.VertexID, want graph.Label) graph.EdgeID {
+	e.scratchE = e.g.EdgesBetween(u, v, e.scratchE[:0])
+	for _, id := range e.scratchE {
+		if want == pattern.NoLabel || e.g.EdgeLabel(id) == want {
+			return id
+		}
+	}
+	return graph.NilEdge
+}
+
+// updateTails recomputes the suffix-maximum table after a push or pop.
+func (e *Embedding) updateTails() {
+	if e.kind == PatternInduced {
+		return
+	}
+	k := len(e.words)
+	if cap(e.tailMax) < k {
+		e.tailMax = make([]Word, k)
+	}
+	e.tailMax = e.tailMax[:k]
+	for i := k - 1; i >= 0; i-- {
+		e.tailMax[i] = e.words[i]
+		if i+1 < k && e.tailMax[i+1] > e.tailMax[i] {
+			e.tailMax[i] = e.tailMax[i+1]
+		}
+	}
+}
+
+// canonicalOK applies the O(1) canonical-generation test for candidate w
+// whose first adjacent member index is f.
+func (e *Embedding) canonicalOK(w Word, f int) bool {
+	if w <= e.words[0] {
+		return false
+	}
+	if f+1 < len(e.words) && w <= e.tailMax[f+1] {
+		return false
+	}
+	return true
+}
+
+// Extensions computes the valid extension words of the current embedding,
+// appending them to dst and returning the extended slice together with the
+// number of candidate tests performed (the paper's extension cost, EC).
+// The embedding must be non-empty; depth-0 domains are handled by the
+// engine via InitialDomain/ValidInitial.
+func (e *Embedding) Extensions(dst []Word) ([]Word, int) {
+	if e.custom != nil {
+		return e.custom.Extensions(e, dst)
+	}
+	return e.DefaultExtensions(dst)
+}
+
+// DefaultExtensions computes the built-in extension candidates regardless
+// of any installed custom extender — the hook for extenders that refine the
+// default strategy (e.g. sampling) rather than replace it.
+func (e *Embedding) DefaultExtensions(dst []Word) ([]Word, int) {
+	switch e.kind {
+	case VertexInduced:
+		return e.vertexExtensions(dst)
+	case EdgeInduced:
+		return e.edgeExtensions(dst)
+	default:
+		return e.patternExtensions(dst)
+	}
+}
+
+func (e *Embedding) vertexExtensions(dst []Word) ([]Word, int) {
+	clear(e.candFirst)
+	e.candList = e.candList[:0]
+	for i, m := range e.vertices {
+		for _, u := range e.g.Neighbors(m) {
+			w := Word(u)
+			if _, ok := e.candFirst[w]; ok {
+				continue
+			}
+			if e.isMemberVertex(u) {
+				e.candFirst[w] = -1 // member sentinel
+				continue
+			}
+			e.candFirst[w] = i
+			e.candList = append(e.candList, w)
+		}
+	}
+	tested := 0
+	for _, w := range e.candList {
+		f := e.candFirst[w]
+		if f < 0 {
+			continue
+		}
+		tested++
+		if e.canonicalOK(w, f) {
+			dst = append(dst, w)
+		}
+	}
+	sortWords(dst)
+	return dst, tested
+}
+
+func (e *Embedding) isMemberVertex(v graph.VertexID) bool {
+	for _, m := range e.vertices {
+		if m == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Embedding) edgeExtensions(dst []Word) ([]Word, int) {
+	clear(e.candFirst)
+	e.candList = e.candList[:0]
+	// Candidates: edges incident to covered vertices.
+	for _, v := range e.cover {
+		for _, id := range e.g.IncidentEdges(v) {
+			x := Word(id)
+			if _, ok := e.candFirst[x]; ok {
+				continue
+			}
+			if e.isMemberEdge(graph.EdgeID(x)) {
+				e.candFirst[x] = -1
+				continue
+			}
+			e.candFirst[x] = e.firstAdjacentMember(graph.EdgeID(x))
+			e.candList = append(e.candList, x)
+		}
+	}
+	tested := 0
+	for _, x := range e.candList {
+		f := e.candFirst[x]
+		if f < 0 {
+			continue
+		}
+		tested++
+		if e.canonicalOK(x, f) {
+			dst = append(dst, x)
+		}
+	}
+	sortWords(dst)
+	return dst, tested
+}
+
+func (e *Embedding) isMemberEdge(id graph.EdgeID) bool {
+	for _, m := range e.edges[:len(e.words)] {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// firstAdjacentMember returns the smallest member index i such that edge id
+// shares an endpoint with member edge i.
+func (e *Embedding) firstAdjacentMember(id graph.EdgeID) int {
+	x := e.g.EdgeByID(id)
+	for i := 0; i < len(e.words); i++ {
+		m := e.g.EdgeByID(graph.EdgeID(e.words[i]))
+		if m.Has(x.Src) || m.Has(x.Dst) {
+			return i
+		}
+	}
+	return len(e.words) // unreachable for true candidates
+}
+
+func (e *Embedding) patternExtensions(dst []Word) ([]Word, int) {
+	k := len(e.words)
+	if k >= len(e.plan.Order) {
+		return dst, 0
+	}
+	back := e.plan.Back[k]
+	want := e.plan.VLabels[k]
+	// Iterate neighbors of the lowest-degree backward anchor.
+	anchor := back[0]
+	for _, b := range back[1:] {
+		if e.g.Degree(e.vertices[b.Pos]) < e.g.Degree(e.vertices[anchor.Pos]) {
+			anchor = b
+		}
+	}
+	tested := 0
+	av := e.vertices[anchor.Pos]
+	for j, u := range e.g.Neighbors(av) {
+		tested++
+		if e.isMemberVertex(u) {
+			continue
+		}
+		// Anchor edge label.
+		if anchor.ELabel != pattern.NoLabel && e.g.EdgeLabel(e.g.IncidentEdges(av)[j]) != anchor.ELabel {
+			// Another parallel edge may match; fall back to full search.
+			if e.edgeMatching(u, av, anchor.ELabel) == graph.NilEdge {
+				continue
+			}
+		}
+		if want != pattern.NoLabel && !graph.ContainsLabel(e.g.VertexLabels(u), want) {
+			continue
+		}
+		ok := true
+		for _, b := range back {
+			if b == anchor {
+				continue
+			}
+			if e.edgeMatching(u, e.vertices[b.Pos], b.ELabel) == graph.NilEdge {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !e.plan.CheckBinding(k, u, e.vertices) {
+			continue
+		}
+		w := Word(u)
+		if containsWord(dst, w) {
+			continue // parallel edges to the anchor would repeat u
+		}
+		dst = append(dst, w)
+	}
+	sortWords(dst)
+	return dst, tested
+}
+
+// Complete reports whether a pattern-induced embedding has bound every
+// pattern vertex (always false for other kinds).
+func (e *Embedding) Complete() bool {
+	return e.kind == PatternInduced && len(e.words) == len(e.plan.Order)
+}
+
+// Pattern returns the pattern (template) of the current embedding: induced
+// edges for vertex-induced, the exact edge set for edge-induced, and the
+// plan's pattern for pattern-induced embeddings.
+func (e *Embedding) Pattern() *pattern.Pattern {
+	switch e.kind {
+	case VertexInduced:
+		return pattern.FromEmbedding(e.g, e.vertices, nil)
+	case EdgeInduced:
+		return pattern.FromEmbedding(e.g, e.vertices, e.edges)
+	default:
+		return e.plan.P
+	}
+}
+
+// String summarizes the embedding.
+func (e *Embedding) String() string {
+	return fmt.Sprintf("Embedding(%s V=%v E=%v)", e.kind, e.vertices, e.edges)
+}
+
+func sortWords(ws []Word) {
+	// Insertion sort: extension lists are small and nearly sorted.
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j] < ws[j-1]; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+func containsWord(ws []Word, w Word) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fractal/internal/graph"
+)
+
+// Dataset is one registered benchmark graph: a scaled-down analog of a
+// Table 1 dataset, built lazily and cached.
+type Dataset struct {
+	// Name is the registry key, e.g. "mico-sl".
+	Name string
+	// PaperName is the Table 1 dataset this stands in for.
+	PaperName string
+	// Description explains the analog's construction.
+	Description string
+	build       func() *graph.Graph
+
+	once sync.Once
+	g    *graph.Graph
+}
+
+// Graph builds (once) and returns the dataset graph.
+func (d *Dataset) Graph() *graph.Graph {
+	d.once.Do(func() { d.g = d.build() })
+	return d.g
+}
+
+var registry = []*Dataset{
+	{
+		Name:        "mico-ml",
+		PaperName:   "Mico (100K/1.08M, 29 labels)",
+		Description: "community co-authorship analog: 60 communities of 50 authors, dense inside, 29 research-field labels",
+		build: func() *graph.Graph {
+			return Community("mico-ml", 60, 50, 16, 1.2, 29, 101)
+		},
+	},
+	{
+		Name:        "mico-sl",
+		PaperName:   "Mico-SL",
+		Description: "mico-ml with labels collapsed",
+		build: func() *graph.Graph {
+			return Relabel(Community("mico-sl-src", 60, 50, 16, 1.2, 29, 101), "mico-sl")
+		},
+	},
+	{
+		Name:        "patents-ml",
+		PaperName:   "Patents (2.74M/13.96M, 37 labels)",
+		Description: "sparse citation analog: preferential attachment, 2 citations per patent, 37 Zipf-skewed year labels",
+		build: func() *graph.Graph {
+			return SkewLabels(BarabasiAlbert("patents-ml", 9000, 2, 37, 102), 37, 202)
+		},
+	},
+	{
+		Name:        "patents-sl",
+		PaperName:   "Patents-SL",
+		Description: "patents-ml with labels collapsed",
+		build: func() *graph.Graph {
+			return Relabel(BarabasiAlbert("patents-sl-src", 9000, 2, 37, 102), "patents-sl")
+		},
+	},
+	{
+		Name:        "youtube-ml",
+		PaperName:   "Youtube (4.58M/43.96M, 80 labels)",
+		Description: "video relatedness analog: preferential attachment with bounded relatedness fanout, 4 relations per video, 80 Zipf-skewed rating×length labels",
+		build: func() *graph.Graph {
+			return SkewLabels(BarabasiAlbertCapped("youtube-ml", 11000, 4, 80, 90, 103), 80, 203)
+		},
+	},
+	{
+		Name:        "youtube-sl",
+		PaperName:   "Youtube-SL",
+		Description: "youtube-ml with labels collapsed",
+		build: func() *graph.Graph {
+			return Relabel(BarabasiAlbertCapped("youtube-sl-src", 11000, 4, 80, 90, 103), "youtube-sl")
+		},
+	},
+	{
+		Name:        "wikidata",
+		PaperName:   "Wikidata (15.51M/18.55M, 2569 labels, ~4M keywords)",
+		Description: "knowledge-graph analog: near-tree with hubs, 120 predicate labels, Zipf keywords kw0..kw799 on vertices and edges",
+		build: func() *graph.Graph {
+			return KnowledgeGraph("wikidata", 16000, 19000, 120, 800, 104)
+		},
+	},
+	{
+		Name:        "orkut",
+		PaperName:   "Orkut (3.07M/117.18M, single label)",
+		Description: "dense social analog: preferential attachment with 12 friendships per user",
+		build: func() *graph.Graph {
+			return Relabel(BarabasiAlbert("orkut-src", 4000, 12, 1, 105), "orkut")
+		},
+	},
+}
+
+// Datasets returns all registered datasets, sorted by name.
+func Datasets() []*Dataset {
+	out := append([]*Dataset(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns the dataset graph registered under name.
+func ByName(name string) (*graph.Graph, error) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d.Graph(), nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown dataset %q", name)
+}
+
+// KeywordQuery is one keyword-search benchmark query (Section 5.2.3).
+type KeywordQuery struct {
+	Name     string
+	Keywords []string
+}
+
+// KeywordQueries returns the Q1..Q4 analogs for the wikidata dataset:
+// keyword ranks are chosen so Q1/Q2 are selective (rare keywords, large
+// reduction benefit) and Q3/Q4 are heavier (more frequent keywords), as in
+// the paper's drilldown.
+func KeywordQueries() []KeywordQuery {
+	return []KeywordQuery{
+		{Name: "Q1", Keywords: []string{"kw41", "kw67", "kw103"}},
+		{Name: "Q2", Keywords: []string{"kw131", "kw155", "kw210"}},
+		{Name: "Q3", Keywords: []string{"kw5", "kw9", "kw14", "kw23"}},
+		{Name: "Q4", Keywords: []string{"kw3", "kw11", "kw19"}},
+	}
+}

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+
+	"fractal/internal/graph"
+)
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	g1 := ErdosRenyi("er", 100, 300, 4, 7)
+	g2 := ErdosRenyi("er", 100, 300, 4, 7)
+	if g1.NumVertices() != 100 || g1.NumEdges() != 300 {
+		t.Fatalf("|V|=%d |E|=%d", g1.NumVertices(), g1.NumEdges())
+	}
+	for v := 0; v < 100; v++ {
+		if g1.VertexLabel(graph.VertexID(v)) != g2.VertexLabel(graph.VertexID(v)) {
+			t.Fatal("labels not deterministic")
+		}
+	}
+	for e := 0; e < 300; e++ {
+		if g1.EdgeByID(graph.EdgeID(e)).Src != g2.EdgeByID(graph.EdgeID(e)).Src {
+			t.Fatal("edges not deterministic")
+		}
+	}
+	g3 := ErdosRenyi("er", 100, 300, 4, 8)
+	same := true
+	for e := 0; e < 300; e++ {
+		a, b := g1.EdgeByID(graph.EdgeID(e)), g3.EdgeByID(graph.EdgeID(e))
+		if a.Src != b.Src || a.Dst != b.Dst {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	g := BarabasiAlbert("ba", 2000, 3, 5, 42)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("|V|=%d", g.NumVertices())
+	}
+	// Edge count: seed clique + (n - m - 1) * m.
+	wantE := 3*2/1 + 0 // seed clique on 4 vertices = 6 edges
+	wantE = 6 + (2000-4)*3
+	if g.NumEdges() != wantE {
+		t.Errorf("|E|=%d, want %d", g.NumEdges(), wantE)
+	}
+	// Heavy tail: max degree far above mean.
+	maxDeg, sum := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		d := g.Degree(graph.VertexID(v))
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(g.NumVertices())
+	if float64(maxDeg) < 8*mean {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestCommunityStructure(t *testing.T) {
+	g := Community("comm", 10, 40, 12, 0.5, 10, 3)
+	if g.NumVertices() != 400 {
+		t.Fatalf("|V|=%d", g.NumVertices())
+	}
+	// Count intra- vs inter-community edges.
+	intra, inter := 0, 0
+	for id := 0; id < g.NumEdges(); id++ {
+		e := g.EdgeByID(graph.EdgeID(id))
+		if int(e.Src)/40 == int(e.Dst)/40 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 3*inter {
+		t.Errorf("community structure weak: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestKnowledgeGraphKeywords(t *testing.T) {
+	g := KnowledgeGraph("kg", 2000, 2400, 20, 100, 9)
+	if !g.HasKeywords() {
+		t.Fatal("knowledge graph has no keywords")
+	}
+	if g.NumEdges() < 2400 {
+		t.Errorf("|E|=%d, want >= 2400", g.NumEdges())
+	}
+	// Zipf: kw0 must be much more common than kw50.
+	count := func(name string) int {
+		l, ok := g.Dict().Lookup(name)
+		if !ok {
+			return 0
+		}
+		n := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			if graph.ContainsLabel(g.VertexKeywords(graph.VertexID(v)), l) {
+				n++
+			}
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			if graph.ContainsLabel(g.EdgeKeywords(graph.EdgeID(e)), l) {
+				n++
+			}
+		}
+		return n
+	}
+	if c0, c50 := count("kw0"), count("kw50"); c0 <= 4*c50 {
+		t.Errorf("keyword distribution not Zipf-like: kw0=%d kw50=%d", c0, c50)
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	g := ErdosRenyi("er", 50, 100, 8, 1)
+	sl := Relabel(g, "er-sl")
+	if sl.NumVertices() != 50 || sl.NumEdges() != 100 {
+		t.Fatal("relabel changed topology")
+	}
+	if sl.NumLabels() != 1 {
+		t.Errorf("relabel left %d labels", sl.NumLabels())
+	}
+	if sl.Name() != "er-sl" {
+		t.Errorf("Name=%q", sl.Name())
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 8 {
+		t.Fatalf("registered %d datasets, want 8", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		names[d.Name] = true
+		if d.PaperName == "" || d.Description == "" {
+			t.Errorf("dataset %s missing metadata", d.Name)
+		}
+	}
+	for _, want := range []string{"mico-sl", "mico-ml", "patents-sl", "patents-ml",
+		"youtube-sl", "youtube-ml", "wikidata", "orkut"} {
+		if !names[want] {
+			t.Errorf("missing dataset %s", want)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	g, err := ByName("mico-sl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := ByName("mico-sl")
+	if g != g2 {
+		t.Error("dataset not cached")
+	}
+	if g.NumLabels() != 1 {
+		t.Error("mico-sl is not single-labeled")
+	}
+	ml, _ := ByName("mico-ml")
+	if ml.NumLabels() < 20 {
+		t.Errorf("mico-ml has %d labels, want ~29", ml.NumLabels())
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	// Density ordering should follow the paper: mico densest, wikidata
+	// sparsest of the four main graphs.
+	get := func(name string) float64 {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Density()
+	}
+	mico, patents, youtube, wikidata := get("mico-ml"), get("patents-ml"), get("youtube-ml"), get("wikidata")
+	if !(mico > patents && mico > youtube && patents > wikidata && youtube > wikidata) {
+		t.Errorf("density ordering broken: mico=%.2e patents=%.2e youtube=%.2e wikidata=%.2e",
+			mico, patents, youtube, wikidata)
+	}
+}
+
+func TestKeywordQueriesResolvable(t *testing.T) {
+	g, err := ByName("wikidata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := KeywordQueries()
+	if len(qs) != 4 {
+		t.Fatalf("want 4 queries, got %d", len(qs))
+	}
+	for _, q := range qs {
+		for _, kw := range q.Keywords {
+			if _, ok := g.Dict().Lookup(kw); !ok {
+				t.Errorf("%s: keyword %q not present in wikidata analog", q.Name, kw)
+			}
+		}
+	}
+}

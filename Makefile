@@ -1,0 +1,16 @@
+.PHONY: check test build vet bench
+
+check:
+	./scripts/check.sh
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem ./...

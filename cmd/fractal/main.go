@@ -62,12 +62,15 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -ws mode %q", *wsMode))
 	}
-	ctx, err := fractal.NewContext(cfg)
+	ctx, err := fractal.NewContextCfg(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	defer ctx.Close()
-	g := ctx.LoadGraphOrExit(*graphPath)
+	g, err := ctx.LoadGraph(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
 	s := g.Stats()
 	fmt.Printf("loaded %s: |V|=%d |E|=%d |L|=%d\n", s.Name, s.V, s.E, s.L)
 

@@ -22,7 +22,7 @@ func main() {
 	cores := flag.Int("cores", 4, "execution cores")
 	flag.Parse()
 
-	ctx, err := fractal.NewContext(fractal.Config{Workers: 1, CoresPerWorker: *cores})
+	ctx, err := fractal.NewContext(fractal.WithCores(*cores))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,7 +30,9 @@ func main() {
 
 	var g *fractal.Graph
 	if *graphPath != "" {
-		g = ctx.LoadGraphOrExit(*graphPath)
+		if g, err = ctx.LoadGraph(*graphPath); err != nil {
+			log.Fatal(err)
+		}
 	} else {
 		// Planted communities: percolation should rediscover them.
 		g = ctx.FromGraph(workload.Relabel(

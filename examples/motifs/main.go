@@ -25,7 +25,7 @@ func main() {
 	cores := flag.Int("cores", 4, "execution cores")
 	flag.Parse()
 
-	ctx, err := fractal.NewContext(fractal.Config{Workers: 1, CoresPerWorker: *cores})
+	ctx, err := fractal.NewContext(fractal.WithCores(*cores))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +33,9 @@ func main() {
 
 	var g *fractal.Graph
 	if *graphPath != "" {
-		g = ctx.LoadGraphOrExit(*graphPath)
+		if g, err = ctx.LoadGraph(*graphPath); err != nil {
+			log.Fatal(err)
+		}
 	} else {
 		g = ctx.FromGraph(workload.Relabel(
 			workload.Community("motifs-demo", 20, 40, 10, 1.0, 4, 11), "motifs-demo"))

@@ -23,7 +23,7 @@ func main() {
 	cores := flag.Int("cores", 4, "execution cores")
 	flag.Parse()
 
-	ctx, err := fractal.NewContext(fractal.Config{Workers: 1, CoresPerWorker: *cores})
+	ctx, err := fractal.NewContext(fractal.WithCores(*cores))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -31,7 +31,9 @@ func main() {
 
 	var g *fractal.Graph
 	if *graphPath != "" {
-		g = ctx.LoadGraphOrExit(*graphPath)
+		if g, err = ctx.LoadGraph(*graphPath); err != nil {
+			log.Fatal(err)
+		}
 	} else {
 		g = ctx.FromGraph(workload.Community("query-demo", 25, 30, 9, 0.9, 5, 19))
 	}

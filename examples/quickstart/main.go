@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fractal"
 	"fractal/internal/workload"
@@ -20,19 +24,35 @@ import (
 func main() {
 	graphPath := flag.String("graph", "", "optional input graph (.graph/.el)")
 	cores := flag.Int("cores", 4, "execution cores")
+	timeout := flag.Duration("timeout", 0, "optional overall deadline, e.g. 5s")
 	flag.Parse()
 
-	ctx, err := fractal.NewContext(fractal.Config{Workers: 1, CoresPerWorker: *cores})
+	// Ctrl-C cancels the running query instead of leaving the runtime
+	// wedged; -timeout additionally bounds the whole run.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	fctx, err := fractal.NewContext(
+		fractal.WithCores(*cores),
+		fractal.WithStepTimeout(10*time.Minute),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer ctx.Close()
+	defer fctx.Close()
 
 	var g *fractal.Graph
 	if *graphPath != "" {
-		g = ctx.LoadGraphOrExit(*graphPath)
+		if g, err = fctx.LoadGraph(*graphPath); err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		g = ctx.FromGraph(workload.Relabel(
+		g = fctx.FromGraph(workload.Relabel(
 			workload.Community("quickstart", 30, 40, 12, 1.0, 8, 7), "quickstart"))
 	}
 	s := g.Stats()
@@ -43,7 +63,7 @@ func main() {
 			Expand(1).
 			Filter(fractal.CliqueFilter).
 			Explore(k).
-			Count()
+			CountCtx(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,12 +6,19 @@
 //
 // A minimal application (counting triangles):
 //
-//	ctx, _ := fractal.NewContext(fractal.Config{Workers: 1, CoresPerWorker: 4})
-//	defer ctx.Close()
-//	g, _ := ctx.AdjacencyList("mico.graph")
+//	fctx, _ := fractal.NewContext(fractal.WithCores(4))
+//	defer fctx.Close()
+//	g, _ := fctx.LoadGraph("mico.graph")
 //	n, _, _ := g.VFractoid().Expand(3).
 //		Filter(fractal.CliqueFilter).
-//		Count()
+//		CountCtx(ctx)
+//
+// Execution is context-first: the canonical execution methods — RunCtx,
+// CountCtx, SubgraphsCtx, AggregationMapCtx — take a context.Context and
+// honour cancellation and deadlines end to end, through the master, the
+// workers, and every execution core's enumeration loop. The context-free
+// variants (Run, Count, Subgraphs, AggregationMap) are thin
+// context.Background() wrappers kept for convenience.
 //
 // See the examples directory for the paper's application listings (motifs,
 // cliques, FSM, keyword search, subgraph querying) written against this API.
@@ -20,6 +27,7 @@ package fractal
 import (
 	"fmt"
 	"os"
+	"time"
 
 	"fractal/internal/agg"
 	"fractal/internal/graph"
@@ -57,6 +65,10 @@ type Aggregations = agg.Registry
 // StepReport re-exports the per-step execution metrics.
 type StepReport = sched.StepReport
 
+// WorkerLostError re-exports the typed error returned when a worker becomes
+// unreachable (or silent) mid-job; match it with errors.As.
+type WorkerLostError = sched.WorkerLostError
+
 // Context is the entry point of a Fractal application (the FractalContext of
 // Figure 2, operator C1). It owns the runtime resources; Close releases
 // them.
@@ -65,12 +77,63 @@ type Context struct {
 	cache *pattern.CodeCache
 }
 
-// NewContext starts a runtime with the given configuration (zero value:
-// one worker, one core, hierarchical work stealing).
-func NewContext(cfg Config) (*Context, error) {
+// Option configures a Context. Options are applied in order over a default
+// configuration of one worker, one core, hierarchical work stealing, and
+// the in-process loopback transport.
+type Option func(*Config)
+
+// WithWorkers sets the number of worker nodes.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithCores sets the number of execution cores per worker.
+func WithCores(n int) Option { return func(c *Config) { c.CoresPerWorker = n } }
+
+// WithWS selects the work-stealing configuration (WSNone, WSInternal,
+// WSExternal, WSBoth).
+func WithWS(ws sched.WorkStealing) Option { return func(c *Config) { c.WS = ws } }
+
+// WithTCP runs master/worker communication over real TCP sockets on
+// 127.0.0.1 instead of in-process mailboxes.
+func WithTCP() Option { return func(c *Config) { c.UseTCP = true } }
+
+// WithStepTimeout bounds the wall-clock time of each fractal step; a step
+// exceeding it is cancelled and execution returns an error wrapping
+// context.DeadlineExceeded.
+func WithStepTimeout(d time.Duration) Option { return func(c *Config) { c.StepTimeout = d } }
+
+// WithWorkerTimeout sets how long the master waits for a silent worker
+// before failing the job with a *sched.WorkerLostError.
+func WithWorkerTimeout(d time.Duration) Option { return func(c *Config) { c.WorkerTimeout = d } }
+
+// WithConfig replaces the whole configuration with cfg, an escape hatch for
+// callers that already hold a Config value. Options after it still apply.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// NewContext starts a runtime configured by the given options:
+//
+//	fractal.NewContext(fractal.WithWorkers(4), fractal.WithCores(8),
+//		fractal.WithTCP(), fractal.WithStepTimeout(30*time.Second))
+//
+// With no options: one worker, one core, hierarchical work stealing.
+func NewContext(opts ...Option) (*Context, error) {
+	cfg := Config{WS: WSBoth}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return newContext(cfg)
+}
+
+// NewContextCfg starts a runtime from an explicit Config value (the
+// pre-options form of NewContext). A zero Config defaults to one worker,
+// one core, hierarchical work stealing.
+func NewContextCfg(cfg Config) (*Context, error) {
 	if cfg.Workers == 0 && cfg.CoresPerWorker == 0 && cfg.WS == WSNone {
 		cfg.WS = WSBoth
 	}
+	return newContext(cfg)
+}
+
+func newContext(cfg Config) (*Context, error) {
 	rt, err := sched.New(cfg)
 	if err != nil {
 		return nil, err
@@ -84,16 +147,23 @@ func (c *Context) Close() { c.rt.Close() }
 // Config returns the effective runtime configuration.
 func (c *Context) Config() Config { return c.rt.Config() }
 
-// AdjacencyList loads a graph file (operator I1 of Figure 2). The format is
+// LoadGraph loads a graph file (operator I1 of Figure 2). The format is
 // chosen by extension: ".graph" adjacency list, ".el" labeled edge list; a
 // "<path>.kw" keyword sidecar is applied when present.
-func (c *Context) AdjacencyList(path string) (*Graph, error) {
+func (c *Context) LoadGraph(path string) (*Graph, error) {
 	g, err := graph.LoadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("fractal: loading %s: %w", path, err)
 	}
 	return &Graph{ctx: c, g: g}, nil
 }
+
+// AdjacencyList is the original name of LoadGraph, retained as an alias.
+// The method has always dispatched on the file extension, not only on
+// adjacency lists, so the name undersold it.
+//
+// Deprecated: use LoadGraph.
+func (c *Context) AdjacencyList(path string) (*Graph, error) { return c.LoadGraph(path) }
 
 // FromGraph wraps an in-memory graph as a fractal graph.
 func (c *Context) FromGraph(g *graph.Graph) *Graph { return &Graph{ctx: c, g: g} }
@@ -181,10 +251,13 @@ func CliqueFilter(e *Subgraph) bool {
 	return e.NumEdges()*2 == nv*(nv-1)
 }
 
-// LoadGraphOrExit is a convenience for examples: it loads a graph file and
-// exits the process with a message on failure.
+// LoadGraphOrExit loads a graph file and exits the process with a message
+// on failure.
+//
+// Deprecated: library code must not call os.Exit. Use LoadGraph and handle
+// the error.
 func (c *Context) LoadGraphOrExit(path string) *Graph {
-	fg, err := c.AdjacencyList(path)
+	fg, err := c.LoadGraph(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

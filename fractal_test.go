@@ -1,10 +1,14 @@
 package fractal
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fractal/internal/agg"
 	"fractal/internal/graph"
@@ -14,7 +18,7 @@ import (
 
 func testContext(t *testing.T) *Context {
 	t.Helper()
-	ctx, err := NewContext(Config{Workers: 1, CoresPerWorker: 2, WS: WSBoth})
+	ctx, err := NewContext(WithCores(2), WithWS(WSBoth))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +318,7 @@ func TestCustomExtender(t *testing.T) {
 }
 
 func TestContextConfigAndDefaults(t *testing.T) {
-	ctx, err := NewContext(Config{})
+	ctx, err := NewContextCfg(Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,5 +329,93 @@ func TestContextConfigAndDefaults(t *testing.T) {
 	}
 	if cfg.WS != WSBoth {
 		t.Errorf("zero config should default to hierarchical WS, got %v", cfg.WS)
+	}
+}
+
+// denseTestGraph builds a deterministic dense graph large enough that a
+// deep clique exploration runs for far longer than any test will wait.
+func denseTestGraph(n int) *graph.Graph {
+	b := graph.NewBuilder("dense")
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(i % 3))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if (i*31+j*17)%10 < 4 {
+				b.MustAddEdge(graph.VertexID(i), graph.VertexID(j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TestCancellationReleasesGoroutines is the public-API acceptance test for
+// the tentpole: a long clique job is cancelled shortly after starting, the
+// error wraps context.Canceled with a partial Cancelled step report, the
+// Context remains usable for a follow-up job, and after Close no runtime
+// goroutines linger.
+func TestCancellationReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, err := NewContext(WithWorkers(2), WithCores(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ctx.FromGraph(denseTestGraph(70))
+
+	cctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	n, res, err := g.VFractoid().Expand(1).Filter(CliqueFilter).Explore(4).CountCtx(cctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want wrapped context.Canceled", err)
+	}
+	if res == nil || len(res.Steps) == 0 {
+		t.Fatal("no partial result from cancelled job")
+	}
+	if last := res.Steps[len(res.Steps)-1]; !last.Cancelled {
+		t.Errorf("last step not marked Cancelled: %+v", last)
+	}
+	_ = n // partial count: any value is legitimate
+
+	// The Context must remain usable after a cancelled job.
+	small := ctx.FromGraph(k4Graph())
+	n2, _, err := small.VFractoid().Expand(3).Filter(CliqueFilter).Count()
+	if err != nil {
+		t.Fatalf("job after cancellation failed: %v", err)
+	}
+	if n2 != 4 {
+		t.Errorf("post-cancellation triangles=%d, want 4", n2)
+	}
+
+	ctx.Close()
+	// Goroutine counts settle asynchronously (transport readers observe
+	// closed connections); retry briefly before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExpandZeroErrors verifies Expand rejects n < 1 like Explore does,
+// instead of silently doing nothing.
+func TestExpandZeroErrors(t *testing.T) {
+	ctx := testContext(t)
+	g := ctx.FromGraph(k4Graph())
+	for _, n := range []int{0, -1} {
+		if _, _, err := g.VFractoid().Expand(n).Count(); err == nil {
+			t.Errorf("Expand(%d).Count() succeeded, want error", n)
+		}
+		if err := g.VFractoid().Expand(n).Err(); err == nil {
+			t.Errorf("Expand(%d).Err() == nil, want error", n)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package fractal
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -49,8 +50,15 @@ func (f *Fractoid) WithAggregations(env *Aggregations) *Fractoid {
 	return &nf
 }
 
-// Expand appends n extension primitives (operator W1).
+// Expand appends n extension primitives (operator W1). n must be at least
+// 1; like Explore, a non-positive n yields a fractoid whose Err is set and
+// whose execution fails.
 func (f *Fractoid) Expand(n int) *Fractoid {
+	if n < 1 {
+		nf := *f
+		nf.err = fmt.Errorf("fractal: expand(%d) requires n >= 1", n)
+		return &nf
+	}
 	nf := f
 	for i := 0; i < n; i++ {
 		nf = nf.derive(step.ExtendP())
@@ -139,12 +147,14 @@ func (r *Result) TotalEC() int64 {
 	return t
 }
 
-// run executes the fractoid's workflow.
-func (f *Fractoid) run() (*Result, error) {
+// run executes the fractoid's workflow under ctx. On cancellation it
+// returns the partial Result (last step marked Cancelled) together with the
+// error, so callers can observe how far execution got.
+func (f *Fractoid) run(ctx context.Context) (*Result, error) {
 	if f.err != nil {
 		return nil, f.err
 	}
-	res, err := f.fg.ctx.rt.Run(sched.Job{
+	res, err := f.fg.ctx.rt.Run(ctx, sched.Job{
 		Graph:    f.fg.g,
 		Kind:     f.kind,
 		Plan:     f.plan,
@@ -152,41 +162,73 @@ func (f *Fractoid) run() (*Result, error) {
 		Workflow: f.wf,
 		Env:      f.env,
 	})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
-	return &Result{Aggregations: res.Env, Steps: res.Steps, Wall: res.Wall}, nil
+	return &Result{Aggregations: res.Env, Steps: res.Steps, Wall: res.Wall}, err
 }
 
-// Run executes the workflow as-is (triggering every synchronization point)
-// and returns the computed aggregations and metrics.
-func (f *Fractoid) Run() (*Result, error) { return f.run() }
+// RunCtx executes the workflow as-is (triggering every synchronization
+// point) and returns the computed aggregations and metrics. This is the
+// canonical execution method: cancelling ctx (or exceeding its deadline, or
+// the runtime's per-step timeout) interrupts enumeration on every core
+// within one DFS iteration, drains the step cleanly, and returns the
+// partial Result alongside an error wrapping context.Canceled or
+// context.DeadlineExceeded. The Context remains usable for further jobs.
+func (f *Fractoid) RunCtx(ctx context.Context) (*Result, error) { return f.run(ctx) }
 
-// Subgraphs executes the workflow and streams every complete embedding to
-// visit (output operator O1; the paper exposes an RDD, this implementation
-// streams). visit runs concurrently on all cores.
+// Run is RunCtx with context.Background(): execution that cannot be
+// interrupted. Prefer RunCtx.
+func (f *Fractoid) Run() (*Result, error) { return f.run(context.Background()) }
+
+// SubgraphsCtx executes the workflow and streams every complete embedding
+// to visit (output operator O1; the paper exposes an RDD, this
+// implementation streams). visit runs concurrently on all cores and must be
+// safe for that. Cancellation semantics are those of RunCtx: on early
+// cancellation, visit has seen a prefix of the embedding stream.
+func (f *Fractoid) SubgraphsCtx(ctx context.Context, visit func(*Subgraph)) (*Result, error) {
+	return f.Visit(visit).run(ctx)
+}
+
+// Subgraphs is SubgraphsCtx with context.Background(). Prefer SubgraphsCtx.
 func (f *Fractoid) Subgraphs(visit func(*Subgraph)) (*Result, error) {
-	return f.Visit(visit).run()
+	return f.SubgraphsCtx(context.Background(), visit)
 }
 
-// Count executes the workflow and returns the number of embeddings that
-// reach the end of it.
-func (f *Fractoid) Count() (int64, *Result, error) {
+// CountCtx executes the workflow and returns the number of embeddings that
+// reach the end of it. On cancellation the count covers the embeddings
+// processed before the cancellation took effect (a partial count, returned
+// with the error).
+func (f *Fractoid) CountCtx(ctx context.Context) (int64, *Result, error) {
 	var n atomic.Int64
-	res, err := f.Visit(func(*Subgraph) { n.Add(1) }).run()
+	res, err := f.Visit(func(*Subgraph) { n.Add(1) }).run(ctx)
 	return n.Load(), res, err
 }
 
-// AggregationMap executes the fractoid and returns the reduced mapping of
-// the named aggregation (output operator O2).
-func AggregationMap[K comparable, V any](f *Fractoid, name string) (map[K]V, *Result, error) {
-	res, err := f.run()
+// Count is CountCtx with context.Background(). Prefer CountCtx.
+func (f *Fractoid) Count() (int64, *Result, error) {
+	return f.CountCtx(context.Background())
+}
+
+// AggregationMapCtx executes the fractoid and returns the reduced mapping
+// of the named aggregation (output operator O2). A cancelled execution
+// returns the partial Result with the error; the mapping itself is nil in
+// that case, because a cancelled step's partial aggregations are discarded
+// rather than merged (partial reductions are not meaningful).
+func AggregationMapCtx[K comparable, V any](ctx context.Context, f *Fractoid, name string) (map[K]V, *Result, error) {
+	res, err := f.run(ctx)
 	if err != nil {
-		return nil, nil, err
+		return nil, res, err
 	}
 	a, err := agg.Typed[K, V](res.Aggregations, name)
 	if err != nil {
 		return nil, res, err
 	}
 	return a.Entries(), res, nil
+}
+
+// AggregationMap is AggregationMapCtx with context.Background(). Prefer
+// AggregationMapCtx.
+func AggregationMap[K comparable, V any](f *Fractoid, name string) (map[K]V, *Result, error) {
+	return AggregationMapCtx[K, V](context.Background(), f, name)
 }

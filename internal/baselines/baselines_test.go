@@ -28,7 +28,7 @@ func testGraphs() []*igraph.Graph {
 
 func fractalCtx(t *testing.T) *fractal.Context {
 	t.Helper()
-	ctx, err := fractal.NewContext(fractal.Config{Workers: 1, CoresPerWorker: 2})
+	ctx, err := fractal.NewContext(fractal.WithCores(2))
 	if err != nil {
 		t.Fatal(err)
 	}

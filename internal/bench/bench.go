@@ -148,7 +148,7 @@ func newCtx(workers, cores int, ws fractal.Config) (*fractal.Context, error) {
 	cfg := ws
 	cfg.Workers = workers
 	cfg.CoresPerWorker = cores
-	return fractal.NewContext(cfg)
+	return fractal.NewContextCfg(cfg)
 }
 
 // table starts an aligned writer.

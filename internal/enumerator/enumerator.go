@@ -158,6 +158,25 @@ func (s *Stack) Clear() {
 	s.mu.Unlock()
 }
 
+// Abandon drops all levels and returns the number of unconsumed extensions
+// discarded with them. A cancelled step calls this instead of Clear so the
+// runtime can report how much enumeration work was left behind (a lower
+// bound: each abandoned extension rooted an unexplored subtree). Thieves
+// holding a snapshot of the old levels may still drain them concurrently;
+// the count is therefore an instantaneous estimate, which is all a
+// cancellation report needs.
+func (s *Stack) Abandon() int64 {
+	s.mu.Lock()
+	levels := s.levels
+	s.levels = nil
+	s.mu.Unlock()
+	var n int64
+	for _, e := range levels {
+		n += int64(e.Remaining())
+	}
+	return n
+}
+
 // StealShallowest scans levels bottom-up and steals one extension from the
 // first enumerator that still has work, returning the stolen prefix.
 func (s *Stack) StealShallowest() (stolen []Word, ok bool) {

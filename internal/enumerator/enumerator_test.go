@@ -240,3 +240,32 @@ func TestConcurrentStealAndTakeDisjoint(t *testing.T) {
 		}
 	}
 }
+
+func TestStackAbandon(t *testing.T) {
+	var s Stack
+	s.Push(NewRoot(0, 1, 10))            // 10 unconsumed roots
+	s.Push(New([]Word{1}, []Word{4, 5})) // 2 unconsumed extensions
+	e := New([]Word{1, 4}, []Word{7, 8, 9})
+	if _, ok := e.Take(); !ok { // consume one: 2 left
+		t.Fatal("Take failed")
+	}
+	s.Push(e)
+
+	if got := s.Abandon(); got != 14 {
+		t.Errorf("Abandon=%d, want 14", got)
+	}
+	if s.Depth() != 0 {
+		t.Errorf("stack not empty after Abandon: depth=%d", s.Depth())
+	}
+	if _, ok := s.StealShallowest(); ok {
+		t.Error("steal succeeded on abandoned stack")
+	}
+	if got := s.Abandon(); got != 0 {
+		t.Errorf("second Abandon=%d, want 0", got)
+	}
+	// The stack must remain usable for the next step.
+	s.Push(New([]Word{2}, []Word{6}))
+	if s.Depth() != 1 || !s.HasWork() {
+		t.Error("stack unusable after Abandon")
+	}
+}

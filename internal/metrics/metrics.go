@@ -35,6 +35,7 @@ type Collector struct {
 	busyTimeNs     atomic.Int64
 
 	peakStateBytes atomic.Int64
+	abandonedExts  atomic.Int64
 
 	coreWork []atomic.Int64
 }
@@ -75,6 +76,13 @@ func (c *Collector) AddStealTime(d time.Duration) { c.stealTimeNs.Add(int64(d)) 
 
 // AddBusyTime records time a core spent processing work.
 func (c *Collector) AddBusyTime(d time.Duration) { c.busyTimeNs.Add(int64(d)) }
+
+// AddAbandonedExts records enumerator extensions discarded by a cancelled
+// step.
+func (c *Collector) AddAbandonedExts(n int64) { c.abandonedExts.Add(n) }
+
+// AbandonedExts returns the number of extensions discarded by cancellation.
+func (c *Collector) AbandonedExts() int64 { return c.abandonedExts.Load() }
 
 // ObserveStateBytes raises the peak intermediate-state estimate to n if
 // larger (monotone max).

@@ -9,14 +9,24 @@
 // Address discovery substitutes the paper's master-coordinated handshake:
 // all listeners are bound first and the resulting address book is shared
 // with every node, after which nodes dial peers lazily on first send.
+//
+// The TCP transport is hardened for partial failure: dials retry with
+// exponential backoff plus jitter, every message write carries a deadline,
+// and a send that fails on a cached connection drops it and redials once
+// before reporting the peer unreachable. Callers therefore see a Send error
+// only when the peer is genuinely gone (or persistently wedged past the
+// write deadline), which the scheduling layer converts into worker-loss
+// handling instead of blocking forever.
 package rpc
 
 import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // NodeID identifies a node. The master is node -1; workers are 0..n-1.
@@ -55,6 +65,76 @@ var ErrClosed = errors.New("rpc: transport closed")
 var ErrUnknownPeer = errors.New("rpc: unknown peer")
 
 const mailboxDepth = 4096
+
+// TCPOptions tunes the failure behaviour of the TCP transport.
+type TCPOptions struct {
+	// DialAttempts is the maximum number of connection attempts per dial
+	// (default 4).
+	DialAttempts int
+	// DialBackoff is the delay before the second attempt; it doubles per
+	// attempt up to DialMaxBackoff, with up to 50% random jitter added to
+	// decorrelate concurrent redials (defaults 10ms, 500ms).
+	DialBackoff    time.Duration
+	DialMaxBackoff time.Duration
+	// DialTimeout bounds each individual connection attempt (default 2s).
+	DialTimeout time.Duration
+	// SendTimeout is the per-message write deadline (default 10s). A peer
+	// that does not drain its socket within it is treated as unreachable.
+	SendTimeout time.Duration
+}
+
+// DefaultTCPOptions returns the default failure tuning.
+func DefaultTCPOptions() TCPOptions {
+	return TCPOptions{
+		DialAttempts:   4,
+		DialBackoff:    10 * time.Millisecond,
+		DialMaxBackoff: 500 * time.Millisecond,
+		DialTimeout:    2 * time.Second,
+		SendTimeout:    10 * time.Second,
+	}
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	d := DefaultTCPOptions()
+	if o.DialAttempts <= 0 {
+		o.DialAttempts = d.DialAttempts
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = d.DialBackoff
+	}
+	if o.DialMaxBackoff <= 0 {
+		o.DialMaxBackoff = d.DialMaxBackoff
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = d.DialTimeout
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = d.SendTimeout
+	}
+	return o
+}
+
+// dialWithBackoff dials addr, retrying with exponential backoff and jitter.
+func dialWithBackoff(addr string, o TCPOptions) (net.Conn, error) {
+	backoff := o.DialBackoff
+	var lastErr error
+	for attempt := 0; attempt < o.DialAttempts; attempt++ {
+		if attempt > 0 {
+			jitter := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+			time.Sleep(backoff + jitter)
+			backoff *= 2
+			if backoff > o.DialMaxBackoff {
+				backoff = o.DialMaxBackoff
+			}
+		}
+		c, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("rpc: dial %s failed after %d attempts: %w", addr, o.DialAttempts, lastErr)
+}
 
 // ---------------------------------------------------------------------------
 // Loopback transport
@@ -138,6 +218,7 @@ type tcpNode struct {
 	id    NodeID
 	ln    net.Listener
 	book  map[NodeID]string // peer -> address
+	opts  TCPOptions
 	box   chan Envelope
 	done  chan struct{}
 	close sync.Once
@@ -154,9 +235,27 @@ type tcpConn struct {
 	enc *gob.Encoder
 }
 
+// send encodes env onto the connection under a write deadline.
+func (tc *tcpConn) send(env Envelope, timeout time.Duration) error {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if timeout > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(timeout))
+		defer tc.c.SetWriteDeadline(time.Time{})
+	}
+	return tc.enc.Encode(env)
+}
+
 // NewTCPNetwork binds one 127.0.0.1 listener per node ID, shares the address
-// book, and returns the transports. Connections are established lazily.
+// book, and returns the transports with the default failure tuning.
+// Connections are established lazily.
 func NewTCPNetwork(ids []NodeID) (map[NodeID]Transport, error) {
+	return NewTCPNetworkWith(ids, DefaultTCPOptions())
+}
+
+// NewTCPNetworkWith is NewTCPNetwork with explicit failure tuning.
+func NewTCPNetworkWith(ids []NodeID, opts TCPOptions) (map[NodeID]Transport, error) {
+	opts = opts.withDefaults()
 	nodes := map[NodeID]*tcpNode{}
 	book := map[NodeID]string{}
 	for _, id := range ids {
@@ -170,6 +269,7 @@ func NewTCPNetwork(ids []NodeID) (map[NodeID]Transport, error) {
 		nodes[id] = &tcpNode{
 			id:      id,
 			ln:      ln,
+			opts:    opts,
 			box:     make(chan Envelope, mailboxDepth),
 			done:    make(chan struct{}),
 			conns:   map[NodeID]*tcpConn{},
@@ -233,6 +333,50 @@ func (n *tcpNode) readLoop(c net.Conn) {
 	}
 }
 
+// conn returns the cached connection to a peer, dialing (with retry and
+// backoff) when none exists. The dial happens outside the node lock so a
+// dead peer's backoff never stalls sends to healthy peers.
+func (n *tcpNode) conn(to NodeID, addr string) (*tcpConn, error) {
+	n.mu.Lock()
+	tc, ok := n.conns[to]
+	n.mu.Unlock()
+	if ok {
+		return tc, nil
+	}
+	c, err := dialWithBackoff(addr, n.opts)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial node %d: %w", to, err)
+	}
+	n.mu.Lock()
+	select {
+	case <-n.done:
+		n.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	default:
+	}
+	if existing, ok := n.conns[to]; ok {
+		// A concurrent send won the dial race; use its connection.
+		n.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	tc = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	n.conns[to] = tc
+	n.mu.Unlock()
+	return tc, nil
+}
+
+// dropConn discards a broken connection so the next send redials.
+func (n *tcpNode) dropConn(to NodeID, tc *tcpConn) {
+	n.mu.Lock()
+	if n.conns[to] == tc {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	tc.c.Close()
+}
+
 func (n *tcpNode) Send(to NodeID, env Envelope) error {
 	select {
 	case <-n.done:
@@ -243,34 +387,27 @@ func (n *tcpNode) Send(to NodeID, env Envelope) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
 	}
-	n.mu.Lock()
-	tc, ok := n.conns[to]
-	if !ok {
-		c, err := net.Dial("tcp", addr)
-		if err != nil {
-			n.mu.Unlock()
-			return fmt.Errorf("rpc: dial node %d: %w", to, err)
-		}
-		tc = &tcpConn{c: c, enc: gob.NewEncoder(c)}
-		n.conns[to] = tc
-	}
-	n.mu.Unlock()
-
 	env.From = n.id
-	tc.mu.Lock()
-	err := tc.enc.Encode(env)
-	tc.mu.Unlock()
-	if err != nil {
-		// Drop the broken connection so a retry redials.
-		n.mu.Lock()
-		if n.conns[to] == tc {
-			delete(n.conns, to)
+	// A write failure on a cached connection usually means the peer reset it
+	// (or it idled out); drop it and retry once on a fresh dial. gob reports
+	// an error whenever any underlying write failed, so a retried message is
+	// duplicated only if the first encode flushed completely yet still
+	// errored — which cannot happen — while a partially written frame is
+	// discarded by the receiver's decoder when the old connection dies.
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		tc, err := n.conn(to, addr)
+		if err != nil {
+			return err
 		}
-		n.mu.Unlock()
-		tc.c.Close()
-		return fmt.Errorf("rpc: send to node %d: %w", to, err)
+		if err := tc.send(env, n.opts.SendTimeout); err != nil {
+			n.dropConn(to, tc)
+			lastErr = err
+			continue
+		}
+		return nil
 	}
-	return nil
+	return fmt.Errorf("rpc: send to node %d: %w", to, lastErr)
 }
 
 func (n *tcpNode) Recv() <-chan Envelope { return n.box }

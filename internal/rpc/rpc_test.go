@@ -1,8 +1,10 @@
 package rpc
 
 import (
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -203,5 +205,119 @@ func TestTCPDoubleCloseSafe(t *testing.T) {
 func closeAll(nw map[NodeID]Transport) {
 	for _, tr := range nw {
 		tr.Close()
+	}
+}
+
+// TestDialRetrySucceedsOnceListenerAppears reserves an address, refuses the
+// first connection attempts by keeping it unbound, and binds a listener only
+// after a delay: dialWithBackoff must retry through the refusals and connect.
+func TestDialRetrySucceedsOnceListenerAppears(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // connections are now refused
+
+	accepted := make(chan struct{})
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("rebinding %s: %v", addr, err)
+			close(accepted)
+			return
+		}
+		defer ln2.Close()
+		if c, err := ln2.Accept(); err == nil {
+			c.Close()
+		}
+		close(accepted)
+	}()
+
+	opts := TCPOptions{DialAttempts: 10, DialBackoff: 10 * time.Millisecond, DialMaxBackoff: 50 * time.Millisecond}.withDefaults()
+	start := time.Now()
+	c, err := dialWithBackoff(addr, opts)
+	if err != nil {
+		t.Fatalf("dial never succeeded: %v", err)
+	}
+	c.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("dial succeeded in %v, before the listener could have been bound", elapsed)
+	}
+	<-accepted
+}
+
+// TestDialRetryGivesUp verifies the attempt cap and that backoff time was
+// actually spent between attempts.
+func TestDialRetryGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	opts := TCPOptions{DialAttempts: 3, DialBackoff: 20 * time.Millisecond}.withDefaults()
+	start := time.Now()
+	_, err = dialWithBackoff(addr, opts)
+	if err == nil {
+		t.Fatal("dial to dead address succeeded")
+	}
+	// Attempts sleep ~20ms then ~40ms (plus jitter) before giving up.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("gave up after %v, backoff not applied", elapsed)
+	}
+}
+
+// TestSendWriteDeadline verifies that a peer which never drains its socket
+// trips the per-message write deadline instead of blocking forever.
+func TestSendWriteDeadline(t *testing.T) {
+	c1, c2 := net.Pipe() // synchronous: writes block until the peer reads
+	defer c2.Close()
+	defer c1.Close()
+	tc := &tcpConn{c: c1, enc: gob.NewEncoder(c1)}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- tc.send(Envelope{Kind: 1, Body: make([]byte, 1<<16)}, 30*time.Millisecond)
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("send to a stalled peer succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send did not observe its write deadline")
+	}
+}
+
+// TestSendRecoversAcrossBrokenConnection kills the cached connection under a
+// sender and verifies the next Send transparently redials.
+func TestSendRecoversAcrossBrokenConnection(t *testing.T) {
+	nw, err := NewTCPNetwork([]NodeID{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(nw)
+	if err := nw[0].Send(1, Envelope{Kind: 1, Body: []byte("first")}); err != nil {
+		t.Fatal(err)
+	}
+	if string(recvOne(t, nw[1]).Body) != "first" {
+		t.Fatal("first message corrupted")
+	}
+	// Sever the cached connection out from under the sender.
+	n0 := nw[0].(*tcpNode)
+	n0.mu.Lock()
+	for _, tc := range n0.conns {
+		tc.c.Close()
+	}
+	n0.mu.Unlock()
+	// The write may fail on the first or second Send depending on buffering;
+	// both must be absorbed by the redial-and-retry path.
+	if err := nw[0].Send(1, Envelope{Kind: 2, Body: []byte("second")}); err != nil {
+		t.Fatalf("send after broken connection: %v", err)
+	}
+	if string(recvOne(t, nw[1]).Body) != "second" {
+		t.Fatal("second message corrupted")
 	}
 }

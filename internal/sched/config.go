@@ -74,6 +74,15 @@ type Config struct {
 	// StatusInterval is the master's quiescence polling period (default
 	// 1ms).
 	StatusInterval time.Duration
+	// StepTimeout bounds the wall-clock time of each fractal step. A step
+	// exceeding it is cancelled exactly as by a context deadline and Run
+	// returns an error wrapping context.DeadlineExceeded. Zero means no
+	// per-step bound (the job context still applies).
+	StepTimeout time.Duration
+	// WorkerTimeout is how long the master waits for a worker's status
+	// report or aggregation data before declaring the worker lost and
+	// failing the job with a WorkerLostError (default 1 minute).
+	WorkerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StatusInterval <= 0 {
 		c.StatusInterval = time.Millisecond
+	}
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = time.Minute
 	}
 	return c
 }
@@ -104,6 +116,14 @@ type StepReport struct {
 	Workflow string
 	// Skipped marks effect-free steps the master did not execute.
 	Skipped bool
+	// Cancelled marks a step abandoned mid-flight (context cancellation,
+	// deadline, or worker loss). Its metrics reflect the partial work done
+	// before the cancellation took effect, and its aggregations were
+	// discarded rather than merged.
+	Cancelled bool
+	// AbandonedExts counts enumerator extensions discarded by a cancelled
+	// step: a lower bound on the enumeration work that remained.
+	AbandonedExts int64
 	// Wall is the wall-clock duration of the step.
 	Wall time.Duration
 	// Balance is the per-core work distribution.

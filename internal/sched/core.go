@@ -47,10 +47,22 @@ func (c *core) run(st *stepCtx) {
 	}
 	c.drainResponses()
 	c.stack.Clear()
-	st.activeInc()
+	// The core is already marked active: startStep incremented the counter
+	// for every core before launching the goroutines.
 	c.stack.Push(enumerator.NewRoot(c.global, st.totalCores, emb.InitialDomain()))
 
 	for {
+		// Cancellation is polled once per DFS iteration (one extension
+		// consumed per iteration), which bounds the reaction latency to a
+		// single embedding's processing time. Only cancellation exits the
+		// loop mid-work: an ordinary step end (finish) lets the core drain
+		// its local subtree, so a quiescence decision that raced with a
+		// just-started core loses no work. The shared abort flag is
+		// checked too because it lands well before the cancel control
+		// message when the machine is oversubscribed.
+		if st.aborted() {
+			break
+		}
 		e := c.stack.Top()
 		if e == nil {
 			// Out of local work. Internal steals are shared-memory scans,
@@ -63,7 +75,7 @@ func (c *core) run(st *stepCtx) {
 			got := false
 			extBackoff := 1
 			attempt := 0
-			for !st.isDone() {
+			for !st.halted() {
 				stealStart := time.Now()
 				st.activeInc()
 				if c.w.cfg.WS.internal() {
@@ -94,8 +106,7 @@ func (c *core) run(st *stepCtx) {
 				attempt++
 			}
 			if !got {
-				st.col.AddBusyTime(time.Since(start) - idle)
-				return
+				break
 			}
 			continue
 		}
@@ -110,6 +121,14 @@ func (c *core) run(st *stepCtx) {
 		}
 		emb.TruncateTo(depth)
 		c.process(st, emb, depth, w)
+	}
+
+	st.col.AddBusyTime(time.Since(start) - idle)
+	if st.aborted() {
+		// Drop the remaining enumeration state so thieves find nothing and
+		// memory is released promptly; record how much work was abandoned.
+		st.col.AddAbandonedExts(c.stack.Abandon())
+		st.stateBytes[c.global].Store(0)
 	}
 }
 

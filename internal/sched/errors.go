@@ -1,0 +1,30 @@
+package sched
+
+import "fmt"
+
+// WorkerLostError reports that the master gave up on a worker mid-job: a
+// control message could not be delivered to it, or it stopped answering
+// status pings / shipping aggregation partials within Config.WorkerTimeout.
+// The job fails with this error instead of blocking in quiescence polling;
+// the runtime itself stays usable for subsequent jobs as long as the lost
+// worker's transport recovers (in-process workers only disappear at
+// shutdown, so in practice this surfaces TCP transport failures).
+type WorkerLostError struct {
+	// Worker is the lost worker's ID.
+	Worker int
+	// Phase names the master activity that detected the loss
+	// ("step-start", "quiescence", "aggregation").
+	Phase string
+	// Err is the underlying transport error, nil when the worker simply
+	// went silent.
+	Err error
+}
+
+func (e *WorkerLostError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("sched: worker %d lost during %s: %v", e.Worker, e.Phase, e.Err)
+	}
+	return fmt.Sprintf("sched: worker %d lost during %s: no report within worker timeout", e.Worker, e.Phase)
+}
+
+func (e *WorkerLostError) Unwrap() error { return e.Err }

@@ -19,6 +19,8 @@ const (
 	kStealReq
 	kStealResp
 	kShutdown
+	kCancel
+	kCancelAck
 )
 
 // stepStartMsg tells a worker to start executing a step.
@@ -30,6 +32,22 @@ type stepStartMsg struct {
 // report aggregation partials.
 type stepEndMsg struct {
 	Job, Step int
+}
+
+// cancelMsg tells a worker the master has abandoned the step (context
+// cancellation, deadline, or worker loss): stop cores immediately, discard
+// partial aggregations, and report nothing but a cancelAckMsg.
+type cancelMsg struct {
+	Job, Step int
+}
+
+// cancelAckMsg confirms that a worker has drained the cancelled step: its
+// cores have stopped and their metrics (including abandoned-work counts)
+// are final. Sent even when the worker was not running the step, so the
+// master's bounded drain wait completes fast on the healthy path.
+type cancelAckMsg struct {
+	Job, Step int
+	Worker    int
 }
 
 // aggDataMsg carries one worker's partial aggregation for one name.

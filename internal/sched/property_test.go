@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -34,7 +35,7 @@ func TestDistributedCountsProperty(t *testing.T) {
 		}
 		want := refCount(g, kind, nil, depth)
 		var got atomic.Int64
-		if _, err := rt.Run(countJob(g, kind, nil, depth, &got)); err != nil {
+		if _, err := rt.Run(context.Background(), countJob(g, kind, nil, depth, &got)); err != nil {
 			return false
 		}
 		return got.Load() == want
@@ -56,7 +57,7 @@ func TestMetricsConsistencyProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randomGraph(30, 0.15, 1, seed)
 		var c atomic.Int64
-		res, err := rt.Run(countJob(g, subgraph.VertexInduced, nil, 3, &c))
+		res, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 3, &c))
 		if err != nil {
 			return false
 		}

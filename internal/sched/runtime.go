@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -79,6 +80,13 @@ type jobRun struct {
 	env        *agg.Registry
 	col        *metrics.Collector
 	stateBytes []atomic.Int64
+	// cancelled is the shared abort flag: the master flips it before
+	// broadcasting cancel messages, and cores poll it directly. On an
+	// oversubscribed machine compute-bound cores starve the transport
+	// goroutines, so the shared flag is what actually bounds cancellation
+	// latency; the messages then serialize the drain at each worker's
+	// router and carry the acks back.
+	cancelled atomic.Bool
 }
 
 // Runtime is the master plus its workers. Create with New, run any number
@@ -153,7 +161,20 @@ func (r *Runtime) currentRun() *jobRun {
 // Run executes one job: the workflow is split into fractal steps around its
 // synchronization points (Algorithm 2) and each effectful step is executed
 // from scratch across all workers.
-func (r *Runtime) Run(job Job) (*Result, error) {
+//
+// Run honours ctx end to end: cancellation (or a deadline, or the per-step
+// Config.StepTimeout) is propagated to every worker, execution cores
+// observe it at their next DFS iteration, and the step drains cleanly — no
+// goroutines outlive it and the runtime stays usable for subsequent jobs.
+// A cancelled Run returns a non-nil partial Result whose last StepReport is
+// marked Cancelled, together with an error wrapping ctx.Err() (or
+// context.DeadlineExceeded for a step timeout). An unreachable or silent
+// worker fails the job with a *WorkerLostError instead of blocking in
+// quiescence polling. A nil ctx is treated as context.Background().
+func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if job.Graph == nil {
 		return nil, fmt.Errorf("sched: job has no graph")
 	}
@@ -194,6 +215,10 @@ func (r *Runtime) Run(job Job) (*Result, error) {
 			res.Steps = append(res.Steps, rep)
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			res.Wall = time.Since(start)
+			return res, fmt.Errorf("sched: step %d: %w", i, err)
+		}
 		col := metrics.NewCollector(r.cfg.TotalCores())
 		run := &jobRun{
 			job:        jobID,
@@ -210,36 +235,57 @@ func (r *Runtime) Run(job Job) (*Result, error) {
 		r.run = run
 		r.mu.Unlock()
 
+		stepCtx := ctx
+		var cancel context.CancelFunc
+		if r.cfg.StepTimeout > 0 {
+			stepCtx, cancel = context.WithTimeout(ctx, r.cfg.StepTimeout)
+		}
 		stepStart := time.Now()
-		if err := r.executeStep(run, i, s); err != nil {
-			r.mu.Lock()
-			r.run = nil
-			r.mu.Unlock()
-			return nil, fmt.Errorf("sched: step %d: %w", i, err)
+		err := r.executeStep(stepCtx, run, i, s)
+		if cancel != nil {
+			cancel()
 		}
 		r.mu.Lock()
 		r.run = nil
 		r.mu.Unlock()
 
-		in, ex := col.Steals()
 		rep.Wall = time.Since(stepStart)
-		rep.Balance = col.Balance()
-		if rep.Wall > 0 {
-			rep.Utilization = float64(col.BusyTime()) / (float64(rep.Wall) * float64(r.cfg.TotalCores()))
-			if rep.Utilization > 1 {
-				rep.Utilization = 1
-			}
+		fillReport(&rep, col, r.cfg.TotalCores())
+		if err != nil {
+			// The step was abandoned: report the partial work done before
+			// the cancellation (or worker loss) took effect. executeStep
+			// has already waited (bounded) for drain acks, so on the
+			// healthy path the collector snapshot is final; if a worker
+			// never acked, its last metrics flush may be missing and the
+			// snapshot is a lower bound.
+			rep.Cancelled = true
+			res.Steps = append(res.Steps, rep)
+			res.Wall = time.Since(start)
+			return res, fmt.Errorf("sched: step %d: %w", i, err)
 		}
-		rep.EC = col.ExtensionTests()
-		rep.Subgraphs = col.Subgraphs()
-		rep.StealsInternal, rep.StealsExternal = in, ex
-		rep.StealBytes = col.StealBytes()
-		rep.StealOverhead = col.StealOverhead()
-		rep.PeakStateBytes = col.PeakStateBytes()
 		res.Steps = append(res.Steps, rep)
 	}
 	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// fillReport copies a collector snapshot into a step report.
+func fillReport(rep *StepReport, col *metrics.Collector, cores int) {
+	in, ex := col.Steals()
+	rep.Balance = col.Balance()
+	if rep.Wall > 0 {
+		rep.Utilization = float64(col.BusyTime()) / (float64(rep.Wall) * float64(cores))
+		if rep.Utilization > 1 {
+			rep.Utilization = 1
+		}
+	}
+	rep.EC = col.ExtensionTests()
+	rep.Subgraphs = col.Subgraphs()
+	rep.StealsInternal, rep.StealsExternal = in, ex
+	rep.StealBytes = col.StealBytes()
+	rep.StealOverhead = col.StealOverhead()
+	rep.PeakStateBytes = col.PeakStateBytes()
+	rep.AbandonedExts = col.AbandonedExts()
 }
 
 // effectFree reports whether a step computes no new aggregation and visits
@@ -259,23 +305,76 @@ func (r *Runtime) effectFree(s *step.Step) bool {
 
 // executeStep drives one fractal step: broadcast start, poll for global
 // quiescence, broadcast end, and merge the workers' aggregation partials.
-func (r *Runtime) executeStep(run *jobRun, idx int, s *step.Step) error {
+// On any failure — context cancellation, deadline, or worker loss — the
+// step is abandoned: the run's abort flag is flipped and a cancel message
+// is broadcast so every reachable worker drains its cores and discards its
+// partials.
+func (r *Runtime) executeStep(ctx context.Context, run *jobRun, idx int, s *step.Step) (err error) {
+	defer func() {
+		if err != nil {
+			r.broadcastCancel(run, idx)
+		}
+	}()
 	startBody := encode(stepStartMsg{Job: run.job, Step: idx})
 	for i := range r.workers {
-		if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepStart, Body: startBody}); err != nil {
-			return fmt.Errorf("starting worker %d: %w", i, err)
+		if e := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepStart, Body: startBody}); e != nil {
+			return &WorkerLostError{Worker: i, Phase: "step-start", Err: e}
 		}
 	}
-	if err := r.awaitQuiescence(run, idx); err != nil {
+	if err := r.awaitQuiescence(ctx, run, idx); err != nil {
 		return err
 	}
 	endBody := encode(stepEndMsg{Job: run.job, Step: idx})
 	for i := range r.workers {
-		if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepEnd, Body: endBody}); err != nil {
-			return fmt.Errorf("ending worker %d: %w", i, err)
+		if e := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepEnd, Body: endBody}); e != nil {
+			return &WorkerLostError{Worker: i, Phase: "step-end", Err: e}
 		}
 	}
-	return r.collectAggregations(run, idx, s)
+	return r.collectAggregations(ctx, run, idx, s)
+}
+
+// cancelDrainWait bounds how long the master waits for workers to
+// acknowledge a cancel before returning with the partial report. Cores stop
+// via the shared abort flag within one DFS iteration, so healthy workers
+// ack as soon as the control message makes it through; the cap only matters
+// when a worker is dead, and is kept small so cancellation latency stays
+// well under the 100ms target.
+const cancelDrainWait = 75 * time.Millisecond
+
+// broadcastCancel tells every worker to abandon the step — first through
+// the run's shared abort flag (instant), then through cancel messages that
+// serialize the drain at each router — and waits (bounded by
+// cancelDrainWait) for drain acks so the partial step report sees final
+// core metrics. Sends are best-effort: a worker that cannot be reached is
+// typically the one whose loss is being handled, and an unacked worker just
+// means its last metrics flush may be missed.
+func (r *Runtime) broadcastCancel(run *jobRun, idx int) {
+	run.cancelled.Store(true)
+	body := encode(cancelMsg{Job: run.job, Step: idx})
+	for i := range r.workers {
+		r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kCancel, Body: body})
+	}
+	acked := map[int]bool{}
+	deadline := time.NewTimer(cancelDrainWait)
+	defer deadline.Stop()
+	for len(acked) < len(r.workers) {
+		select {
+		case env, ok := <-r.master.Recv():
+			if !ok {
+				return
+			}
+			if env.Kind != kCancelAck {
+				continue // stale status reports, agg data, …
+			}
+			var m cancelAckMsg
+			if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
+				continue
+			}
+			acked[m.Worker] = true
+		case <-deadline.C:
+			return
+		}
+	}
 }
 
 // quiescence detection: the step is complete when, over two consecutive
@@ -284,7 +383,7 @@ func (r *Runtime) executeStep(run *jobRun, idx int, s *step.Step) error {
 // monotone processed counter has not advanced. Cores follow the discipline
 // of marking themselves active before acquiring work, which makes
 // "active == 0" imply "no core holds unprocessed work".
-func (r *Runtime) awaitQuiescence(run *jobRun, idx int) error {
+func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) error {
 	type snap struct {
 		ok        bool
 		processed int64
@@ -294,17 +393,21 @@ func (r *Runtime) awaitQuiescence(run *jobRun, idx int) error {
 	reports := make(map[int]statusReportMsg, len(r.workers))
 	ticker := time.NewTicker(r.cfg.StatusInterval)
 	defer ticker.Stop()
-	deadline := time.After(10 * time.Minute)
+	// lost bounds how long a status round may wait on a silent worker; it is
+	// re-armed every round, so a healthy run never trips it.
+	lost := time.NewTimer(r.cfg.WorkerTimeout)
+	defer lost.Stop()
 
 	for {
 		round++
 		ping := encode(statusPingMsg{Job: run.job, Step: idx, Round: round})
 		for i := range r.workers {
 			if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStatusPing, Body: ping}); err != nil {
-				return fmt.Errorf("pinging worker %d: %w", i, err)
+				return &WorkerLostError{Worker: i, Phase: "quiescence", Err: err}
 			}
 		}
 		clear(reports)
+		lost.Reset(r.cfg.WorkerTimeout)
 		for len(reports) < len(r.workers) {
 			select {
 			case env, ok := <-r.master.Recv():
@@ -322,8 +425,10 @@ func (r *Runtime) awaitQuiescence(run *jobRun, idx int) error {
 					continue
 				}
 				reports[m.Worker] = m
-			case <-deadline:
-				return fmt.Errorf("quiescence timeout")
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-lost.C:
+				return &WorkerLostError{Worker: missingWorker(reports, len(r.workers)), Phase: "quiescence"}
 			}
 		}
 		var cur snap
@@ -348,30 +453,45 @@ func (r *Runtime) awaitQuiescence(run *jobRun, idx int) error {
 		prev = cur
 		select {
 		case <-ticker.C:
-		case <-deadline:
-			return fmt.Errorf("quiescence timeout")
+		case <-ctx.Done():
+			return ctx.Err()
 		}
 	}
 }
 
+// missingWorker returns the lowest worker ID absent from reports.
+func missingWorker(reports map[int]statusReportMsg, workers int) int {
+	for i := 0; i < workers; i++ {
+		if _, ok := reports[i]; !ok {
+			return i
+		}
+	}
+	return -1
+}
+
 // collectAggregations gathers every worker's partials, merges them into the
 // environment, and applies final aggregation filters.
-func (r *Runtime) collectAggregations(run *jobRun, idx int, s *step.Step) error {
+func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int, s *step.Step) error {
 	specs := s.AggSpecs()
 	merged := map[string]agg.Store{}
 	for _, sp := range specs {
 		merged[sp.Name] = sp.Proto.NewEmpty()
 	}
 	doneWorkers := 0
+	done := map[int]bool{}
 	expected := map[int]int{}
 	received := map[int]int{}
-	deadline := time.After(10 * time.Minute)
+	// lost is reset on every message: a worker is only considered lost after
+	// a silent stretch, not merely slow to send many partials.
+	lost := time.NewTimer(r.cfg.WorkerTimeout)
+	defer lost.Stop()
 	for doneWorkers < len(r.workers) {
 		select {
 		case env, ok := <-r.master.Recv():
 			if !ok {
 				return fmt.Errorf("master transport closed")
 			}
+			lost.Reset(r.cfg.WorkerTimeout)
 			switch env.Kind {
 			case kAggData:
 				var m aggDataMsg
@@ -388,6 +508,7 @@ func (r *Runtime) collectAggregations(run *jobRun, idx int, s *step.Step) error 
 				received[m.Worker]++
 				if exp, ok := expected[m.Worker]; ok && received[m.Worker] == exp {
 					doneWorkers++
+					done[m.Worker] = true
 				}
 			case kAggDone:
 				var m aggDoneMsg
@@ -397,10 +518,20 @@ func (r *Runtime) collectAggregations(run *jobRun, idx int, s *step.Step) error 
 				expected[m.Worker] = m.Sent
 				if received[m.Worker] == m.Sent {
 					doneWorkers++
+					done[m.Worker] = true
 				}
 			}
-		case <-deadline:
-			return fmt.Errorf("aggregation collection timeout")
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-lost.C:
+			missing := -1
+			for i := 0; i < len(r.workers); i++ {
+				if !done[i] {
+					missing = i
+					break
+				}
+			}
+			return &WorkerLostError{Worker: missing, Phase: "aggregation"}
 		}
 	}
 	for name, store := range merged {

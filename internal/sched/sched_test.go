@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -107,7 +108,7 @@ func TestCountsMatchReferenceAcrossConfigs(t *testing.T) {
 			}
 			defer rt.Close()
 			var counter atomic.Int64
-			res, err := rt.Run(countJob(g, subgraph.VertexInduced, nil, 3, &counter))
+			res, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 3, &counter))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +135,7 @@ func TestEdgeInducedAndPatternInducedJobs(t *testing.T) {
 
 	wantE := refCount(g, subgraph.EdgeInduced, nil, 2)
 	var ce atomic.Int64
-	if _, err := rt.Run(countJob(g, subgraph.EdgeInduced, nil, 2, &ce)); err != nil {
+	if _, err := rt.Run(context.Background(), countJob(g, subgraph.EdgeInduced, nil, 2, &ce)); err != nil {
 		t.Fatal(err)
 	}
 	if ce.Load() != wantE {
@@ -147,7 +148,7 @@ func TestEdgeInducedAndPatternInducedJobs(t *testing.T) {
 	}
 	wantP := refCount(g, subgraph.PatternInduced, plan, 3)
 	var cp atomic.Int64
-	if _, err := rt.Run(countJob(g, subgraph.PatternInduced, plan, 3, &cp)); err != nil {
+	if _, err := rt.Run(context.Background(), countJob(g, subgraph.PatternInduced, plan, 3, &cp)); err != nil {
 		t.Fatal(err)
 	}
 	if cp.Load() != wantP {
@@ -178,7 +179,7 @@ func TestAggregationAcrossWorkers(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer rt.Close()
-			res, err := rt.Run(job)
+			res, err := rt.Run(context.Background(), job)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -233,7 +234,7 @@ func TestMultiStepAggregationFilter(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	res, err := rt.Run(job)
+	res, err := rt.Run(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestWorkStealingHappensOnSkewedInput(t *testing.T) {
 	}
 	defer rt.Close()
 	var counter atomic.Int64
-	res, err := rt.Run(countJob(g, subgraph.VertexInduced, nil, 3, &counter))
+	res, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 3, &counter))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestAggFilterWithPrecomputedEnv(t *testing.T) {
 	}
 	defer rt.Close()
 
-	res1, err := rt.Run(Job{
+	res1, err := rt.Run(context.Background(), Job{
 		Graph: g, Kind: subgraph.EdgeInduced,
 		Workflow: step.Workflow{step.ExtendP(), step.AggregateP(spec)},
 	})
@@ -335,7 +336,7 @@ func TestAggFilterWithPrecomputedEnv(t *testing.T) {
 	}
 
 	var passed atomic.Int64
-	res2, err := rt.Run(Job{
+	res2, err := rt.Run(context.Background(), Job{
 		Graph: g, Kind: subgraph.EdgeInduced, Env: res1.Env,
 		Workflow: step.Workflow{
 			step.ExtendP(),
@@ -371,7 +372,7 @@ func TestEffectFreeStepSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	res, err := rt.Run(Job{
+	res, err := rt.Run(context.Background(), Job{
 		Graph: g, Kind: subgraph.VertexInduced,
 		Workflow: step.Workflow{step.ExtendP(), step.ExtendP()},
 	})
@@ -389,18 +390,18 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	if _, err := rt.Run(Job{}); err == nil {
+	if _, err := rt.Run(context.Background(), Job{}); err == nil {
 		t.Error("job without graph accepted")
 	}
 	g := randomGraph(5, 0.5, 1, 1)
-	if _, err := rt.Run(Job{Graph: g, Kind: subgraph.PatternInduced}); err == nil {
+	if _, err := rt.Run(context.Background(), Job{Graph: g, Kind: subgraph.PatternInduced}); err == nil {
 		t.Error("pattern-induced job without plan accepted")
 	}
 	plan, _ := pattern.NewPlan(pattern.Triangle())
-	if _, err := rt.Run(Job{Graph: g, Kind: subgraph.VertexInduced, Plan: plan}); err == nil {
+	if _, err := rt.Run(context.Background(), Job{Graph: g, Kind: subgraph.VertexInduced, Plan: plan}); err == nil {
 		t.Error("vertex-induced job with plan accepted")
 	}
-	if _, err := rt.Run(Job{Graph: g, Kind: subgraph.VertexInduced, Workflow: step.Workflow{
+	if _, err := rt.Run(context.Background(), Job{Graph: g, Kind: subgraph.VertexInduced, Workflow: step.Workflow{
 		step.AggFilterP("ghost", func(*subgraph.Embedding, agg.Store) bool { return true }),
 	}}); err == nil {
 		t.Error("unknown aggregation accepted")
@@ -414,7 +415,7 @@ func TestCloseAndReuse(t *testing.T) {
 	}
 	rt.Close()
 	rt.Close() // idempotent
-	if _, err := rt.Run(Job{Graph: randomGraph(5, 0.5, 1, 1), Kind: subgraph.VertexInduced,
+	if _, err := rt.Run(context.Background(), Job{Graph: randomGraph(5, 0.5, 1, 1), Kind: subgraph.VertexInduced,
 		Workflow: step.Workflow{step.ExtendP(), step.VisitP(func(*subgraph.Embedding) {})}}); err == nil {
 		t.Error("Run after Close succeeded")
 	}
@@ -445,7 +446,7 @@ func TestSequentialJobsSameRuntime(t *testing.T) {
 	want := refCount(g, subgraph.VertexInduced, nil, 2)
 	for i := 0; i < 3; i++ {
 		var c atomic.Int64
-		if _, err := rt.Run(countJob(g, subgraph.VertexInduced, nil, 2, &c)); err != nil {
+		if _, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 2, &c)); err != nil {
 			t.Fatal(err)
 		}
 		if c.Load() != want {
@@ -462,7 +463,7 @@ func TestUtilizationMeasured(t *testing.T) {
 			t.Fatal(err)
 		}
 		var c atomic.Int64
-		res, err := rt.Run(countJob(g, subgraph.VertexInduced, nil, 3, &c))
+		res, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 3, &c))
 		rt.Close()
 		if err != nil {
 			t.Fatal(err)

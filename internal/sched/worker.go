@@ -30,6 +30,9 @@ type stepCtx struct {
 
 	active    atomic.Int64
 	processed atomic.Int64
+	stopped   atomic.Bool  // cheap per-iteration poll for the DFS loop
+	cancelled atomic.Bool  // stopped by cancellation rather than step end
+	abort     *atomic.Bool // the run's shared abort flag, set by the master
 	doneCh    chan struct{}
 	doneOnce  sync.Once
 	wg        sync.WaitGroup
@@ -38,16 +41,35 @@ type stepCtx struct {
 func (st *stepCtx) activeInc() { st.active.Add(1) }
 func (st *stepCtx) activeDec() { st.active.Add(-1) }
 
-func (st *stepCtx) isDone() bool {
-	select {
-	case <-st.doneCh:
-		return true
-	default:
-		return false
-	}
+func (st *stepCtx) isDone() bool { return st.stopped.Load() }
+
+// halted reports whether cores must stop acquiring new work: the step
+// ended, or the job was aborted.
+func (st *stepCtx) halted() bool { return st.stopped.Load() || st.abort.Load() }
+
+// aborted reports whether cores must stop mid-work, abandoning their local
+// subtrees: a cancel control message arrived, or the master flipped the
+// run's shared abort flag. The flag matters on oversubscribed machines,
+// where compute-bound cores starve the transport goroutines and a cancel
+// message can take tens of milliseconds to be delivered. An ordinary step
+// end (finish) is deliberately NOT an abort: cores drain their local work
+// first, so quiescence detection races lose nothing.
+func (st *stepCtx) aborted() bool { return st.cancelled.Load() || st.abort.Load() }
+
+func (st *stepCtx) finish() {
+	st.doneOnce.Do(func() {
+		st.stopped.Store(true)
+		close(st.doneCh)
+	})
 }
 
-func (st *stepCtx) finish() { st.doneOnce.Do(func() { close(st.doneCh) }) }
+// cancel stops the step's cores mid-enumeration: unlike finish (which cores
+// only observe once they are out of local work), cancellation is polled at
+// every DFS iteration.
+func (st *stepCtx) cancel() {
+	st.cancelled.Store(true)
+	st.finish()
+}
 
 // worker is one worker node: it owns cores and a message router serving
 // step control, status pings, and external steal requests.
@@ -118,6 +140,11 @@ func (w *worker) route() {
 			if decode(env.Body, &m) == nil {
 				w.routeStealResp(m)
 			}
+		case kCancel:
+			var m cancelMsg
+			if decode(env.Body, &m) == nil {
+				w.cancelStep(m)
+			}
 		case kShutdown:
 			w.abortCurrent()
 			return
@@ -145,6 +172,7 @@ func (w *worker) startStep(m stepStartMsg) {
 		col:        run.col,
 		totalCores: w.cfg.TotalCores(),
 		stateBytes: run.stateBytes,
+		abort:      &run.cancelled,
 		doneCh:     make(chan struct{}),
 	}
 	w.reqSent.Store(0)
@@ -165,6 +193,11 @@ func (w *worker) startStep(m stepStartMsg) {
 	w.cur = st
 	w.mu.Unlock()
 
+	// Mark every core active before its goroutine is even scheduled: from
+	// the first status report the master can match against this step,
+	// active is already len(cores), so a slow goroutine start (common when
+	// the machine is oversubscribed) can never read as quiescence.
+	st.active.Add(int64(len(w.cores)))
 	st.wg.Add(len(w.cores))
 	for _, c := range w.cores {
 		go c.run(st)
@@ -207,6 +240,30 @@ func (w *worker) endStep(m stepEndMsg) {
 	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggDone, Body: encode(done)})
 }
 
+// cancelStep drains a cancelled step: cores stop at their next cancellation
+// poll, partial aggregations are discarded, and nothing is reported to the
+// master but a drain ack. Because the router processes messages serially, a
+// subsequent kStepStart is not handled until the drain completes, so a
+// cancelled job can never leak cores into the next one.
+func (w *worker) cancelStep(m cancelMsg) {
+	w.mu.Lock()
+	st := w.cur
+	w.mu.Unlock()
+	if st != nil && st.job == m.Job && st.index == m.Step {
+		st.cancel()
+		st.wg.Wait()
+		w.mu.Lock()
+		if w.cur == st {
+			w.cur = nil
+		}
+		w.mu.Unlock()
+	}
+	// Ack unconditionally (also when the step was never ours or already
+	// over) so the master's drain wait is not held up by healthy workers.
+	ack := cancelAckMsg{Job: m.Job, Step: m.Step, Worker: w.id}
+	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kCancelAck, Body: encode(ack)})
+}
+
 // abortCurrent releases cores when the worker shuts down mid-step.
 func (w *worker) abortCurrent() {
 	w.mu.Lock()
@@ -214,7 +271,7 @@ func (w *worker) abortCurrent() {
 	w.cur = nil
 	w.mu.Unlock()
 	if st != nil {
-		st.finish()
+		st.cancel()
 		st.wg.Wait()
 	}
 }
@@ -247,7 +304,7 @@ func (w *worker) serveSteal(m stealReqMsg) {
 	w.mu.Lock()
 	st := w.cur
 	w.mu.Unlock()
-	if st != nil && st.job == m.Job && st.index == m.Step && !st.isDone() {
+	if st != nil && st.job == m.Job && st.index == m.Step && !st.halted() {
 		for _, c := range w.cores {
 			if prefix, ok := c.stack.StealShallowest(); ok {
 				resp.Prefix = prefix

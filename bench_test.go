@@ -38,3 +38,4 @@ func BenchmarkFig20bCOSTOpt(b *testing.B)       { runExp(b, "fig20b") }
 func BenchmarkSec41StateEstimate(b *testing.B)  { runExp(b, "sec41") }
 func BenchmarkSec43ReductionStats(b *testing.B) { runExp(b, "sec43") }
 func BenchmarkSec6Overheads(b *testing.B)       { runExp(b, "sec6") }
+func BenchmarkObsTraceSnapshot(b *testing.B)    { runExp(b, "obs") }

@@ -19,15 +19,27 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (default: all)")
-		quick = flag.Bool("quick", false, "use reduced dataset sizes and sweeps")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp    = flag.String("exp", "", "experiment id to run (default: all)")
+		quick  = flag.Bool("quick", false, "use reduced dataset sizes and sweeps")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		report = flag.String("report", "", "analyze a metrics snapshot written by `fractal --metrics-out` and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *report != "" {
+		rep, err := bench.LoadRunReport(*report)
+		if err == nil {
+			err = bench.AnalyzeRunReport(rep, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fractal-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}

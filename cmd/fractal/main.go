@@ -14,18 +14,41 @@
 //	keywords  -keywords <comma,separated> [-reduce]
 //
 // Runtime flags: -workers, -cores, -ws (none|internal|external|both), -tcp.
+//
+// Observability flags:
+//
+//	-metrics-out <path>  write the run's RunReport (per-step collector
+//	                     snapshots, quiescence rounds, transport traffic,
+//	                     trace journal when -trace is set) as JSON
+//	-trace               enable the structured trace journal for the run
+//	-pprof <addr>        serve net/http/pprof and expvar on addr
+//	                     (e.g. localhost:6060); /debug/vars exposes the
+//	                     last run's report under "fractal.last_run"
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"fractal"
 	"fractal/internal/apps"
 	"fractal/internal/pattern"
 )
+
+// lastReport holds the most recent run's report for the expvar endpoint.
+var lastReport atomic.Pointer[fractal.RunReport]
+
+func init() {
+	expvar.Publish("fractal.last_run", expvar.Func(func() any {
+		return lastReport.Load()
+	}))
+}
 
 func main() {
 	var (
@@ -38,18 +61,29 @@ func main() {
 		reduce    = flag.Bool("reduce", false, "enable graph reduction (fsm, keywords)")
 		queryName = flag.String("pattern", "triangle", "query pattern (query)")
 		keywords  = flag.String("keywords", "", "comma-separated query keywords (keywords)")
-		workers   = flag.Int("workers", 1, "number of workers")
-		cores     = flag.Int("cores", 4, "cores per worker")
-		wsMode    = flag.String("ws", "both", "work stealing: none|internal|external|both")
-		useTCP    = flag.Bool("tcp", false, "use TCP transport between workers")
+		workers    = flag.Int("workers", 1, "number of workers")
+		cores      = flag.Int("cores", 4, "cores per worker")
+		wsMode     = flag.String("ws", "both", "work stealing: none|internal|external|both")
+		useTCP     = flag.Bool("tcp", false, "use TCP transport between workers")
+		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot (RunReport JSON) to this file")
+		traceOn    = flag.Bool("trace", false, "record the structured trace journal (exported via -metrics-out)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *graphPath == "" || *app == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fractal: pprof server:", err)
+			}
+		}()
+		fmt.Printf("pprof/expvar listening on http://%s/debug/pprof\n", *pprofAddr)
+	}
 
-	cfg := fractal.Config{Workers: *workers, CoresPerWorker: *cores, UseTCP: *useTCP}
+	cfg := fractal.Config{Workers: *workers, CoresPerWorker: *cores, UseTCP: *useTCP, Trace: *traceOn}
 	switch *wsMode {
 	case "none":
 		cfg.WS = fractal.WSNone
@@ -74,10 +108,12 @@ func main() {
 	s := g.Stats()
 	fmt.Printf("loaded %s: |V|=%d |E|=%d |L|=%d\n", s.Name, s.V, s.E, s.L)
 
+	var last *fractal.Result
 	switch *app {
 	case "motifs":
 		m, res, err := apps.Motifs(ctx, g, *k)
 		check(err)
+		last = res
 		fmt.Printf("%d-vertex motifs: %d classes, %d subgraphs, %s\n",
 			*k, len(m), m.Total(), res.Wall)
 		for code, pc := range m {
@@ -92,14 +128,17 @@ func main() {
 			n, res, err = apps.Cliques(ctx, g, *k)
 		}
 		check(err)
+		last = res
 		fmt.Printf("%d-cliques: %d (EC=%d, %s)\n", *k, n, res.TotalEC(), res.Wall)
 	case "triangles":
 		n, res, err := apps.Triangles(ctx, g)
 		check(err)
+		last = res
 		fmt.Printf("triangles: %d (EC=%d, %s)\n", n, res.TotalEC(), res.Wall)
 	case "fsm":
 		res, err := apps.FSM(ctx, g, *support, apps.FSMOptions{MaxEdges: *maxEdges, GraphReduction: *reduce})
 		check(err)
+		last = res.Last
 		fmt.Printf("frequent patterns (support >= %d): %d, per level %v\n",
 			*support, len(res.Frequent), res.PerLevel)
 		for _, ds := range res.Frequent {
@@ -110,6 +149,7 @@ func main() {
 		check(err)
 		n, res, err := apps.Query(ctx, g, p)
 		check(err)
+		last = res
 		fmt.Printf("matches of %s: %d (EC=%d, %s)\n", *queryName, n, res.TotalEC(), res.Wall)
 	case "keywords":
 		if *keywords == "" {
@@ -118,11 +158,38 @@ func main() {
 		res, err := apps.KeywordSearch(ctx, g, strings.Split(*keywords, ","),
 			apps.KeywordOptions{GraphReduction: *reduce})
 		check(err)
+		last = res.Result
 		fmt.Printf("covering subgraphs: %d (graph |V|=%d |E|=%d, EC=%d, %s)\n",
 			res.Matches, res.GraphV, res.GraphE, res.EC, res.Result.Wall)
 	default:
 		fatal(fmt.Errorf("unknown -app %q", *app))
 	}
+	if last != nil && last.Report != nil {
+		lastReport.Store(last.Report)
+	}
+	if *metricsOut != "" {
+		check(writeMetrics(*metricsOut, last))
+	}
+}
+
+// writeMetrics dumps the run's RunReport as JSON to path.
+func writeMetrics(path string, res *fractal.Result) error {
+	if res == nil || res.Report == nil {
+		return fmt.Errorf("no run report available for -metrics-out")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("metrics snapshot written to %s\n", path)
+	return nil
 }
 
 func patternByName(name string) (*fractal.Pattern, error) {

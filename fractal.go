@@ -26,11 +26,13 @@ package fractal
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"fractal/internal/agg"
 	"fractal/internal/graph"
+	"fractal/internal/metrics"
 	"fractal/internal/pattern"
 	"fractal/internal/sched"
 	"fractal/internal/subgraph"
@@ -65,9 +67,35 @@ type Aggregations = agg.Registry
 // StepReport re-exports the per-step execution metrics.
 type StepReport = sched.StepReport
 
+// RunReport re-exports the run-level observability record: per-step
+// collector snapshots and quiescence rounds, transport traffic, and the
+// trace journal of a WithTrace-enabled run. Every execution's Result
+// carries one; WriteJSON exports it in the --metrics-out schema.
+type RunReport = sched.RunReport
+
+// QuiescenceRound re-exports one master status-polling round of a step.
+type QuiescenceRound = sched.QuiescenceRound
+
+// MetricsSnapshot re-exports the point-in-time collector snapshot embedded
+// in step reports.
+type MetricsSnapshot = metrics.Snapshot
+
+// TraceEvent re-exports one entry of the structured trace journal.
+type TraceEvent = metrics.TraceEvent
+
 // WorkerLostError re-exports the typed error returned when a worker becomes
 // unreachable (or silent) mid-job; match it with errors.As.
 type WorkerLostError = sched.WorkerLostError
+
+// AggregationError re-exports the typed error returned when a step's
+// aggregation partials could not be merged, encoded, shipped, or decoded;
+// match it with errors.As. It replaces the former silent behaviour of
+// shipping a partially merged (wrong) or missing aggregation.
+type AggregationError = sched.AggregationError
+
+// ReadRunReport parses a RunReport written by RunReport.WriteJSON (the
+// cmd/fractal --metrics-out format).
+func ReadRunReport(r io.Reader) (*RunReport, error) { return sched.ReadRunReport(r) }
 
 // Context is the entry point of a Fractal application (the FractalContext of
 // Figure 2, operator C1). It owns the runtime resources; Close releases
@@ -104,6 +132,24 @@ func WithStepTimeout(d time.Duration) Option { return func(c *Config) { c.StepTi
 // WithWorkerTimeout sets how long the master waits for a silent worker
 // before failing the job with a *sched.WorkerLostError.
 func WithWorkerTimeout(d time.Duration) Option { return func(c *Config) { c.WorkerTimeout = d } }
+
+// WithTrace enables the structured trace journal: every run records step
+// start/end, quiescence rounds, steal attempts and outcomes, and
+// cancellation/drain events into a bounded ring exposed through
+// Result.Report.Trace. With tracing disabled (the default) every event
+// site costs a single nil check and no allocation.
+func WithTrace() Option { return func(c *Config) { c.Trace = true } }
+
+// WithTraceCapacity enables tracing with an explicit journal capacity in
+// events (the default is metrics.DefaultTraceCapacity, 16384); when the
+// ring fills, the oldest events are overwritten and
+// Result.Report.TraceDropped counts the loss.
+func WithTraceCapacity(n int) Option {
+	return func(c *Config) {
+		c.Trace = true
+		c.TraceCapacity = n
+	}
+}
 
 // WithConfig replaces the whole configuration with cfg, an escape hatch for
 // callers that already hold a Config value. Options after it still apply.

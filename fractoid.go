@@ -136,6 +136,11 @@ type Result struct {
 	Steps []StepReport
 	// Wall is the total execution time.
 	Wall time.Duration
+	// Report is the run-level observability record (collector snapshots,
+	// quiescence rounds, transport traffic, and — under WithTrace — the
+	// trace journal). Populated on every execution, including cancelled
+	// ones; export it with Report.WriteJSON.
+	Report *RunReport
 }
 
 // TotalEC sums the extension cost over all steps.
@@ -165,7 +170,7 @@ func (f *Fractoid) run(ctx context.Context) (*Result, error) {
 	if res == nil {
 		return nil, err
 	}
-	return &Result{Aggregations: res.Env, Steps: res.Steps, Wall: res.Wall}, err
+	return &Result{Aggregations: res.Env, Steps: res.Steps, Wall: res.Wall, Report: res.Report}, err
 }
 
 // RunCtx executes the workflow as-is (triggering every synchronization

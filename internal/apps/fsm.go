@@ -18,6 +18,9 @@ type FSMResult struct {
 	PerLevel []int
 	// Steps accumulates the per-step reports of every executed fractoid.
 	Steps []fractal.StepReport
+	// Last is the result of the final executed fractoid (the deepest
+	// level), carrying its run-level observability report.
+	Last *fractal.Result
 }
 
 // FSMOptions tunes the FSM kernel.
@@ -66,6 +69,7 @@ func FSM(fc *fractal.Context, g *fractal.Graph, minSupport int64, opts FSMOption
 		return nil, err
 	}
 	out.Steps = append(out.Steps, res.Steps...)
+	out.Last = res
 	env := res.Aggregations
 	level1, err := agg.Typed[string, *agg.DomainSupport](env, supName(1))
 	if err != nil {
@@ -95,6 +99,7 @@ func FSM(fc *fractal.Context, g *fractal.Graph, minSupport int64, opts FSMOption
 			return nil, err
 		}
 		out.Steps = append(out.Steps, res.Steps...)
+		out.Last = res
 		env = res.Aggregations
 		lvl, err := agg.Typed[string, *agg.DomainSupport](env, supName(level))
 		if err != nil {

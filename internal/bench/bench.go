@@ -69,6 +69,7 @@ func Experiments() []Experiment {
 		{"sec41", "Section 4.1: BFS intermediate-state estimate", Sec41},
 		{"sec43", "Section 4.3: reduction of V/E/EC for keyword queries", Sec43},
 		{"sec6", "Section 6: work-stealing overhead", Sec6},
+		{"obs", "Observability: trace journal + metrics snapshot drilldown", Obs},
 	}
 }
 

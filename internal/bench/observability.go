@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"fractal"
+	"fractal/internal/apps"
+	"fractal/internal/metrics"
+)
+
+// Obs exercises the run-level observability layer: it executes 4-cliques
+// with the trace journal enabled and drills into the resulting RunReport —
+// the per-step busy/idle/steal wall-time partition, the master's quiescence
+// rounds, steal attempt outcomes from the trace, and the transport traffic
+// the run generated. This is the in-process consumer of the same snapshot
+// schema cmd/fractal exports with --metrics-out (see AnalyzeRunReport).
+func Obs(o Options) error {
+	g, err := o.dataset("patents-sl")
+	if err != nil {
+		return err
+	}
+	cores := 8
+	if o.Quick {
+		cores = 4
+	}
+	cfg := fractal.Config{WS: fractal.WSBoth, Trace: true}
+	ctx, err := newCtx(1, cores, cfg)
+	if err != nil {
+		return err
+	}
+	defer ctx.Close()
+	_, res, err := apps.Cliques(ctx, ctx.FromGraph(g), 4)
+	if err != nil {
+		return err
+	}
+	if res.Report == nil {
+		return fmt.Errorf("bench: run produced no report")
+	}
+	return AnalyzeRunReport(res.Report, o.out())
+}
+
+// LoadRunReport reads a --metrics-out snapshot file.
+func LoadRunReport(path string) (*fractal.RunReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fractal.ReadRunReport(f)
+}
+
+// AnalyzeRunReport prints the drill-down view of a RunReport: the per-step
+// time partition and work distribution, quiescence-round latencies, steal
+// outcomes reconstructed from the trace journal, and transport totals.
+func AnalyzeRunReport(rep *fractal.RunReport, w io.Writer) error {
+	fmt.Fprintf(w, "run: %d worker(s) × %d core(s), ws=%s, wall=%s\n",
+		rep.Workers, rep.CoresPerWorker, rep.WS, ms(rep.Wall))
+
+	tw := table(w)
+	fmt.Fprintln(tw, "step\twf\twall\tbusy\tidle\tsteal\tutil\teff\tEC\tsubgraphs\trounds\tmean-round-wait")
+	for _, s := range rep.Steps {
+		if s.Skipped {
+			fmt.Fprintf(tw, "%d\t%s\t(skipped)\n", s.Index, s.Workflow)
+			continue
+		}
+		var meanWait time.Duration
+		if len(s.Rounds) > 0 {
+			var total time.Duration
+			for _, q := range s.Rounds {
+				total += q.Wait
+			}
+			meanWait = total / time.Duration(len(s.Rounds))
+		}
+		m := s.Metrics
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%s\t%s\t%.0f%%\t%.0f%%\t%d\t%d\t%d\t%s\n",
+			s.Index, s.Workflow, ms(s.Wall),
+			ms(time.Duration(m.BusyTimeNs)), ms(time.Duration(m.IdleTimeNs)),
+			ms(time.Duration(m.StealTimeNs)),
+			100*s.Utilization, 100*s.Balance.Efficiency,
+			s.EC, s.Subgraphs, s.RoundsTotal, ms(meanWait))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(rep.Trace) > 0 {
+		var intHit, intMiss, extHit, extMiss, drains int
+		for _, ev := range rep.Trace {
+			switch ev.Kind {
+			case metrics.TraceStealAttempt:
+				switch {
+				case !ev.External && ev.Hit:
+					intHit++
+				case !ev.External:
+					intMiss++
+				case ev.Hit:
+					extHit++
+				default:
+					extMiss++
+				}
+			case metrics.TraceDrain:
+				drains++
+			}
+		}
+		fmt.Fprintf(w, "trace: %d events retained (%d dropped); steal attempts int=%d hit/%d miss-spells, ext=%d hit/%d miss; drains=%d\n",
+			len(rep.Trace), rep.TraceDropped, intHit, intMiss, extHit, extMiss, drains)
+	}
+
+	tot := rep.Transport.Total()
+	fmt.Fprintf(w, "transport: %d msgs / %s sent, %d msgs / %s received\n",
+		tot.MsgsSent, bytesHuman(tot.BytesSent), tot.MsgsRecv, bytesHuman(tot.BytesRecv))
+	return nil
+}

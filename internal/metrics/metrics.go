@@ -33,6 +33,7 @@ type Collector struct {
 	stealBytes     atomic.Int64
 	stealTimeNs    atomic.Int64
 	busyTimeNs     atomic.Int64
+	idleTimeNs     atomic.Int64
 
 	peakStateBytes atomic.Int64
 	abandonedExts  atomic.Int64
@@ -71,11 +72,17 @@ func (c *Collector) AddExternalSteal(n int64) {
 	c.stealBytes.Add(n)
 }
 
-// AddStealTime records time spent in work-stealing code paths.
+// AddStealTime records time spent in work-stealing code paths (victim
+// scans, steal messaging, and response waits).
 func (c *Collector) AddStealTime(d time.Duration) { c.stealTimeNs.Add(int64(d)) }
 
 // AddBusyTime records time a core spent processing work.
 func (c *Collector) AddBusyTime(d time.Duration) { c.busyTimeNs.Add(int64(d)) }
+
+// AddIdleTime records time a core spent sleeping between failed steal
+// attempts. Busy, idle, and steal time are disjoint: together they
+// partition each core's wall-clock lifetime within a step.
+func (c *Collector) AddIdleTime(d time.Duration) { c.idleTimeNs.Add(int64(d)) }
 
 // AddAbandonedExts records enumerator extensions discarded by a cancelled
 // step.
@@ -110,8 +117,15 @@ func (c *Collector) Steals() (internal, external int64) {
 func (c *Collector) StealBytes() int64 { return c.stealBytes.Load() }
 
 // BusyTime returns the total time cores spent holding work (runnable or
-// running), as opposed to idling in the steal loop.
+// running), excluding both idle sleeps and time spent in steal code paths.
 func (c *Collector) BusyTime() time.Duration { return time.Duration(c.busyTimeNs.Load()) }
+
+// IdleTime returns the total time cores spent sleeping between failed
+// steal attempts.
+func (c *Collector) IdleTime() time.Duration { return time.Duration(c.idleTimeNs.Load()) }
+
+// StealTime returns the total time cores spent in work-stealing code paths.
+func (c *Collector) StealTime() time.Duration { return time.Duration(c.stealTimeNs.Load()) }
 
 // StealOverhead returns time-in-stealing / busy-time, the Section 6 number.
 func (c *Collector) StealOverhead() float64 {
@@ -136,12 +150,12 @@ func (c *Collector) CoreWork() []int64 {
 
 // Balance summarizes a per-core work distribution.
 type Balance struct {
-	Cores      int
-	Total      int64
-	Makespan   int64   // max per-core work
-	Mean       float64 // total / cores
-	Efficiency float64 // total / (cores * makespan); 1.0 = perfect balance
-	PerCore    []int64 // sorted descending
+	Cores      int     `json:"cores"`
+	Total      int64   `json:"total"`
+	Makespan   int64   `json:"makespan"`   // max per-core work
+	Mean       float64 `json:"mean"`       // total / cores
+	Efficiency float64 `json:"efficiency"` // total / (cores * makespan); 1.0 = perfect balance
+	PerCore    []int64 `json:"per_core"`   // sorted descending
 }
 
 // BalanceOf computes the Balance summary of a work vector.
@@ -172,6 +186,45 @@ func (c *Collector) String() string {
 	return fmt.Sprintf("metrics(EC=%d subgraphs=%d steals=%d/%d eff=%.2f)",
 		c.ExtensionTests(), c.Subgraphs(), in, ex, c.Balance().Efficiency)
 }
+
+// Snapshot is a point-in-time copy of every counter in a Collector, in a
+// stable JSON-friendly schema. It is safe to take while the run is in
+// flight (each counter is read atomically; the set is not one consistent
+// cut) and is the unit exported by the runtime's RunReport and consumed by
+// the bench harness.
+type Snapshot struct {
+	ExtensionTests int64   `json:"extension_tests"`
+	Subgraphs      int64   `json:"subgraphs"`
+	StealsInternal int64   `json:"steals_internal"`
+	StealsExternal int64   `json:"steals_external"`
+	StealBytes     int64   `json:"steal_bytes"`
+	StealTimeNs    int64   `json:"steal_time_ns"`
+	BusyTimeNs     int64   `json:"busy_time_ns"`
+	IdleTimeNs     int64   `json:"idle_time_ns"`
+	PeakStateBytes int64   `json:"peak_state_bytes"`
+	AbandonedExts  int64   `json:"abandoned_exts"`
+	CoreWork       []int64 `json:"core_work"`
+}
+
+// Snapshot copies the collector's current counters.
+func (c *Collector) Snapshot() Snapshot {
+	return Snapshot{
+		ExtensionTests: c.extTests.Load(),
+		Subgraphs:      c.subgraphs.Load(),
+		StealsInternal: c.stealsInternal.Load(),
+		StealsExternal: c.stealsExternal.Load(),
+		StealBytes:     c.stealBytes.Load(),
+		StealTimeNs:    c.stealTimeNs.Load(),
+		BusyTimeNs:     c.busyTimeNs.Load(),
+		IdleTimeNs:     c.idleTimeNs.Load(),
+		PeakStateBytes: c.peakStateBytes.Load(),
+		AbandonedExts:  c.abandonedExts.Load(),
+		CoreWork:       c.CoreWork(),
+	}
+}
+
+// Balance returns the balance summary of the snapshot's core work.
+func (s Snapshot) Balance() Balance { return BalanceOf(s.CoreWork) }
 
 // EmbeddingBytes estimates the in-memory size of one stored embedding with
 // the given vertex and edge counts, matching the paper's Section 4.1

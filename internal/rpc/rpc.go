@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,8 +55,66 @@ type Transport interface {
 	Recv() <-chan Envelope
 	// Peers returns the IDs of all other nodes.
 	Peers() []NodeID
+	// Stats returns this node's cumulative message/byte counters.
+	Stats() Stats
 	// Close releases resources and closes the mailbox.
 	Close() error
+}
+
+// Stats holds one node's cumulative transport counters since creation.
+// Bytes count message payloads (Envelope.Body); framing overhead is not
+// included, so loopback and TCP report comparable numbers. A message is
+// counted as received when it is delivered into the node's mailbox.
+type Stats struct {
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+}
+
+// Sub returns s minus o, counter-wise: the traffic between two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		MsgsSent:  s.MsgsSent - o.MsgsSent,
+		MsgsRecv:  s.MsgsRecv - o.MsgsRecv,
+		BytesSent: s.BytesSent - o.BytesSent,
+		BytesRecv: s.BytesRecv - o.BytesRecv,
+	}
+}
+
+// Add returns s plus o, counter-wise.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		MsgsSent:  s.MsgsSent + o.MsgsSent,
+		MsgsRecv:  s.MsgsRecv + o.MsgsRecv,
+		BytesSent: s.BytesSent + o.BytesSent,
+		BytesRecv: s.BytesRecv + o.BytesRecv,
+	}
+}
+
+// counters is the shared atomic implementation behind Stats.
+type counters struct {
+	msgsSent, msgsRecv   atomic.Int64
+	bytesSent, bytesRecv atomic.Int64
+}
+
+func (c *counters) countSend(env Envelope) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(len(env.Body)))
+}
+
+func (c *counters) countRecv(env Envelope) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(int64(len(env.Body)))
+}
+
+func (c *counters) stats() Stats {
+	return Stats{
+		MsgsSent:  c.msgsSent.Load(),
+		MsgsRecv:  c.msgsRecv.Load(),
+		BytesSent: c.bytesSent.Load(),
+		BytesRecv: c.bytesRecv.Load(),
+	}
 }
 
 // ErrClosed is returned by Send after Close.
@@ -140,9 +199,10 @@ func dialWithBackoff(addr string, o TCPOptions) (net.Conn, error) {
 // Loopback transport
 
 type loopNode struct {
-	id  NodeID
-	net *loopNetwork
-	box chan Envelope
+	id   NodeID
+	net  *loopNetwork
+	box  chan Envelope
+	ctrs counters
 
 	mu     sync.RWMutex // guards closed; held (R) while sending into box
 	closed bool
@@ -186,10 +246,14 @@ func (n *loopNode) Send(to NodeID, env Envelope) error {
 		return ErrClosed
 	}
 	dst.box <- env
+	n.ctrs.countSend(env)
+	dst.ctrs.countRecv(env)
 	return nil
 }
 
 func (n *loopNode) Recv() <-chan Envelope { return n.box }
+
+func (n *loopNode) Stats() Stats { return n.ctrs.stats() }
 
 func (n *loopNode) Peers() []NodeID {
 	out := make([]NodeID, 0, len(n.net.nodes)-1)
@@ -221,6 +285,7 @@ type tcpNode struct {
 	opts  TCPOptions
 	box   chan Envelope
 	done  chan struct{}
+	ctrs  counters
 	close sync.Once
 
 	mu      sync.Mutex
@@ -329,6 +394,7 @@ func (n *tcpNode) readLoop(c net.Conn) {
 		case <-n.done:
 			return
 		case n.box <- env:
+			n.ctrs.countRecv(env)
 		}
 	}
 }
@@ -405,12 +471,15 @@ func (n *tcpNode) Send(to NodeID, env Envelope) error {
 			lastErr = err
 			continue
 		}
+		n.ctrs.countSend(env)
 		return nil
 	}
 	return fmt.Errorf("rpc: send to node %d: %w", to, lastErr)
 }
 
 func (n *tcpNode) Recv() <-chan Envelope { return n.box }
+
+func (n *tcpNode) Stats() Stats { return n.ctrs.stats() }
 
 func (n *tcpNode) Peers() []NodeID {
 	out := make([]NodeID, 0, len(n.book)-1)

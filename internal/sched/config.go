@@ -83,6 +83,15 @@ type Config struct {
 	// report or aggregation data before declaring the worker lost and
 	// failing the job with a WorkerLostError (default 1 minute).
 	WorkerTimeout time.Duration
+	// Trace enables the structured trace journal: every run records step,
+	// quiescence, steal, and cancellation events into a bounded ring
+	// exposed through Result.Report.Trace. Disabled tracing costs one nil
+	// check per event site.
+	Trace bool
+	// TraceCapacity is the journal size in events (default
+	// metrics.DefaultTraceCapacity); the oldest events are overwritten
+	// when it fills. Only meaningful with Trace set.
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,39 +120,47 @@ func (c Config) TotalCores() int { return c.Workers * c.CoresPerWorker }
 // Figure 16 and the balance data of Figures 8 and 19).
 type StepReport struct {
 	// Index is the step's position in the job's step list.
-	Index int
+	Index int `json:"index"`
 	// Workflow is the compact primitive string, e.g. "EEEA".
-	Workflow string
+	Workflow string `json:"workflow"`
 	// Skipped marks effect-free steps the master did not execute.
-	Skipped bool
+	Skipped bool `json:"skipped,omitempty"`
 	// Cancelled marks a step abandoned mid-flight (context cancellation,
 	// deadline, or worker loss). Its metrics reflect the partial work done
 	// before the cancellation took effect, and its aggregations were
 	// discarded rather than merged.
-	Cancelled bool
+	Cancelled bool `json:"cancelled,omitempty"`
 	// AbandonedExts counts enumerator extensions discarded by a cancelled
 	// step: a lower bound on the enumeration work that remained.
-	AbandonedExts int64
+	AbandonedExts int64 `json:"abandoned_exts,omitempty"`
 	// Wall is the wall-clock duration of the step.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// Balance is the per-core work distribution.
-	Balance metrics.Balance
+	Balance metrics.Balance `json:"balance"`
 	// Utilization is busy-time / (cores × wall): the fraction of core-time
 	// spent holding work rather than idling for lack of it (the CPU
 	// utilization of Figure 8). Cores that are runnable but descheduled
 	// count as busy, so the measure is meaningful on hosts with fewer
 	// hardware threads than configured cores.
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// EC is the extension cost (candidate tests).
-	EC int64
+	EC int64 `json:"ec"`
 	// Subgraphs is the number of complete embeddings processed.
-	Subgraphs int64
+	Subgraphs int64 `json:"subgraphs"`
 	// StealsInternal and StealsExternal count successful steals.
-	StealsInternal, StealsExternal int64
+	StealsInternal int64 `json:"steals_internal"`
+	StealsExternal int64 `json:"steals_external"`
 	// StealBytes is the serialized volume shipped by external steals.
-	StealBytes int64
+	StealBytes int64 `json:"steal_bytes"`
 	// StealOverhead is steal-time / busy-time.
-	StealOverhead float64
+	StealOverhead float64 `json:"steal_overhead"`
 	// PeakStateBytes is the peak enumerator-state estimate.
-	PeakStateBytes int64
+	PeakStateBytes int64 `json:"peak_state_bytes"`
+	// Metrics is the full collector snapshot for the step, the canonical
+	// export schema (the scalar fields above remain for convenience).
+	Metrics metrics.Snapshot `json:"metrics"`
+	// Rounds records the master's quiescence polling rounds, up to
+	// maxRecordedRounds; RoundsTotal counts all of them.
+	Rounds      []QuiescenceRound `json:"rounds,omitempty"`
+	RoundsTotal int               `json:"rounds_total"`
 }

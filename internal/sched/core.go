@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"fractal/internal/enumerator"
+	"fractal/internal/metrics"
 	"fractal/internal/rpc"
 	"fractal/internal/step"
 	"fractal/internal/subgraph"
@@ -37,7 +38,13 @@ func newCore(w *worker, local int) *core {
 func (c *core) run(st *stepCtx) {
 	defer st.wg.Done()
 	start := time.Now()
-	var idle time.Duration
+	// idle accumulates only the sleeps between failed steal attempts;
+	// stealScan accumulates the time spent scanning victims and waiting on
+	// steal responses (mirroring what AddStealTime records). Keeping the
+	// two apart makes busy = total - idle - stealScan an honest "holding
+	// work" measure: booking scan time into idle would make
+	// busy+stealTime double-count the scans and skew StealOverhead().
+	var idle, stealScan time.Duration
 
 	var emb *subgraph.Embedding
 	if st.custom != nil {
@@ -75,34 +82,50 @@ func (c *core) run(st *stepCtx) {
 			got := false
 			extBackoff := 1
 			attempt := 0
+			misses := int64(0)
 			for !st.halted() {
-				stealStart := time.Now()
+				scanStart := time.Now()
 				st.activeInc()
+				var prefix []subgraph.Word
+				var ok, external bool
 				if c.w.cfg.WS.internal() {
-					if prefix, ok := c.stealInternal(st); ok {
+					if prefix, ok = c.stealInternal(st); ok {
 						st.col.AddInternalSteal()
-						c.install(st, emb, prefix)
-						st.col.AddStealTime(time.Since(stealStart))
-						got = true
-						break
 					}
 				}
-				if c.w.cfg.WS.external() && attempt >= extBackoff {
+				if !ok && c.w.cfg.WS.external() && attempt >= extBackoff {
 					attempt = 0
 					if extBackoff < 64 {
 						extBackoff *= 2
 					}
-					if prefix, ok := c.stealExternal(st); ok {
-						c.install(st, emb, prefix)
-						st.col.AddStealTime(time.Since(stealStart))
-						got = true
-						break
-					}
+					prefix, ok = c.stealExternal(st)
+					external = true
+				}
+				// Steal time stops here: installing and processing the
+				// stolen prefix is real enumeration work, so it belongs to
+				// busy time, not steal overhead.
+				scan := time.Since(scanStart)
+				st.col.AddStealTime(scan)
+				stealScan += scan
+				if ok {
+					c.traceSteal(st, external, true, misses)
+					c.install(st, emb, prefix)
+					got = true
+					break
+				}
+				// Internal misses recur at the IdleSleep cadence; journaling
+				// each would flood the ring with identical events, so only
+				// the first miss of an idle spell (and every external
+				// attempt, which backs off exponentially) is emitted. The
+				// eventual hit event carries the spell's miss count.
+				misses++
+				if external || misses == 1 {
+					c.traceSteal(st, external, false, misses)
 				}
 				st.activeDec()
-				st.col.AddStealTime(time.Since(stealStart))
+				sleepStart := time.Now()
 				time.Sleep(c.w.cfg.IdleSleep)
-				idle += time.Since(stealStart)
+				idle += time.Since(sleepStart)
 				attempt++
 			}
 			if !got {
@@ -123,13 +146,35 @@ func (c *core) run(st *stepCtx) {
 		c.process(st, emb, depth, w)
 	}
 
-	st.col.AddBusyTime(time.Since(start) - idle)
+	st.col.AddBusyTime(time.Since(start) - idle - stealScan)
+	st.col.AddIdleTime(idle)
 	if st.aborted() {
 		// Drop the remaining enumeration state so thieves find nothing and
 		// memory is released promptly; record how much work was abandoned.
-		st.col.AddAbandonedExts(c.stack.Abandon())
-		st.stateBytes[c.global].Store(0)
+		abandoned := c.stack.Abandon()
+		st.col.AddAbandonedExts(abandoned)
+		if old := st.stateBytes[c.global].Swap(0); old != 0 {
+			st.stateTotal.Add(-old)
+		}
+		if st.tracer != nil {
+			st.tracer.Emit(metrics.TraceEvent{
+				Kind: metrics.TraceDrain, Step: st.index,
+				Worker: c.w.id, Core: c.local, Value: abandoned,
+			})
+		}
 	}
+}
+
+// traceSteal journals one steal attempt; a no-op without a tracer.
+func (c *core) traceSteal(st *stepCtx, external, hit bool, misses int64) {
+	if st.tracer == nil {
+		return
+	}
+	st.tracer.Emit(metrics.TraceEvent{
+		Kind: metrics.TraceStealAttempt, Step: st.index,
+		Worker: c.w.id, Core: c.local,
+		External: external, Hit: hit, Value: misses,
+	})
 }
 
 // process applies the primitives that follow the depth-th extension to the
@@ -247,12 +292,12 @@ func (c *core) drainResponses() {
 // observeState records the current intermediate-state estimate: in Fractal
 // the only live state is the enumerator stacks (prefixes plus extension
 // lists), which is why memory stays flat as depth grows (Table 2). The core
-// updates its own slot and observes the instantaneous sum across cores.
+// updates its own slot and maintains the shared cross-core total by delta,
+// making the observation O(1) per extension instead of O(totalCores) —
+// re-summing every slot on each Extend made the estimate itself a
+// per-extension cost that grew with the deployment size.
 func (c *core) observeState(st *stepCtx) {
-	st.stateBytes[c.global].Store(c.stack.StateBytes())
-	var total int64
-	for i := range st.stateBytes {
-		total += st.stateBytes[i].Load()
-	}
-	st.col.ObserveStateBytes(total)
+	nb := c.stack.StateBytes()
+	old := st.stateBytes[c.global].Swap(nb)
+	st.col.ObserveStateBytes(st.stateTotal.Add(nb - old))
 }

@@ -1,6 +1,9 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // WorkerLostError reports that the master gave up on a worker mid-job: a
 // control message could not be delivered to it, or it stopped answering
@@ -28,3 +31,28 @@ func (e *WorkerLostError) Error() string {
 }
 
 func (e *WorkerLostError) Unwrap() error { return e.Err }
+
+// AggregationError reports that a step's aggregation results could not be
+// assembled correctly: a worker failed to merge or encode a per-core
+// partial, failed to ship one to the master, or the master failed to decode
+// and merge a shipped partial. The job fails with this error instead of
+// silently committing a wrong (partially merged) or incomplete aggregation
+// — the result of a step either reflects every core's contribution or is
+// not produced at all.
+type AggregationError struct {
+	// Worker is the worker whose partials are affected (-1 when the
+	// failure happened at the master).
+	Worker int
+	// Reasons lists the underlying failures, one per affected aggregation
+	// (a worker reports every aggregation that failed, not just the
+	// first).
+	Reasons []string
+}
+
+func (e *AggregationError) Error() string {
+	where := fmt.Sprintf("worker %d", e.Worker)
+	if e.Worker < 0 {
+		where = "master"
+	}
+	return fmt.Sprintf("sched: aggregation failed at %s: %s", where, strings.Join(e.Reasons, "; "))
+}

@@ -58,11 +58,17 @@ type aggDataMsg struct {
 	Data      []byte
 }
 
-// aggDoneMsg signals that a worker has sent all of its partials.
+// aggDoneMsg signals that a worker has finished reporting its partials:
+// Sent counts the aggData messages that preceded it, and Errs carries one
+// entry per aggregation whose partial could not be merged, encoded, or
+// shipped. A non-empty Errs fails the step with an AggregationError at the
+// master — a partial that cannot be assembled must fail loudly, never
+// silently ship a wrong or missing result.
 type aggDoneMsg struct {
 	Job, Step int
 	Worker    int
 	Sent      int
+	Errs      []string
 }
 
 // statusPingMsg requests a quiescence status report.

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,11 @@ type Result struct {
 	Steps []StepReport
 	// Wall is the total wall-clock time.
 	Wall time.Duration
+	// Report is the machine-readable observability record of the run:
+	// per-step collector snapshots and quiescence rounds, transport
+	// traffic, and the trace journal when tracing was enabled. It is
+	// populated on every Run return, including cancelled and failed runs.
+	Report *RunReport
 }
 
 // TotalEC sums the extension cost across steps.
@@ -80,6 +86,16 @@ type jobRun struct {
 	env        *agg.Registry
 	col        *metrics.Collector
 	stateBytes []atomic.Int64
+	// stateTotal is the shared sum over stateBytes, maintained by deltas so
+	// a core's peak-state observation is O(1) per extension.
+	stateTotal atomic.Int64
+	// tracer is the run's trace journal (nil when tracing is disabled).
+	tracer *metrics.Tracer
+	// rounds journals the master's quiescence polling for the current step
+	// (master-only, rebuilt per step); roundsTotal counts rounds past the
+	// maxRecordedRounds cap.
+	rounds      []QuiescenceRound
+	roundsTotal int
 	// cancelled is the shared abort flag: the master flips it before
 	// broadcasting cancel messages, and cores poll it directly. On an
 	// oversubscribed machine compute-bound cores starve the transport
@@ -206,8 +222,18 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	jobID := r.jobSeq
 	r.mu.Unlock()
 
+	var tracer *metrics.Tracer
+	if r.cfg.Trace {
+		tracer = metrics.NewTracer(r.cfg.TraceCapacity)
+	}
+	preStats := r.transportStats()
 	res := &Result{Env: env}
 	start := time.Now()
+	// The report is assembled on every exit path — cancelled and failed
+	// runs keep their partial steps, traffic deltas, and trace journal.
+	defer func() {
+		res.Report = r.buildReport(res, tracer, preStats)
+	}()
 	for i, s := range steps {
 		rep := StepReport{Index: i, Workflow: step.Workflow(s.Primitives).String()}
 		if r.effectFree(s) {
@@ -229,6 +255,7 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 			steps:      steps,
 			env:        env,
 			col:        col,
+			tracer:     tracer,
 			stateBytes: make([]atomic.Int64, r.cfg.TotalCores()),
 		}
 		r.mu.Lock()
@@ -250,8 +277,15 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 		r.mu.Unlock()
 
 		rep.Wall = time.Since(stepStart)
-		fillReport(&rep, col, r.cfg.TotalCores())
+		fillReport(&rep, run, r.cfg.TotalCores())
 		if err != nil {
+			var lost *WorkerLostError
+			if tracer != nil && errors.As(err, &lost) {
+				tracer.Emit(metrics.TraceEvent{
+					Kind: metrics.TraceWorkerLost, Step: i,
+					Worker: lost.Worker, Core: -1,
+				})
+			}
 			// The step was abandoned: report the partial work done before
 			// the cancellation (or worker loss) took effect. executeStep
 			// has already waited (bounded) for drain acks, so on the
@@ -269,8 +303,10 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	return res, nil
 }
 
-// fillReport copies a collector snapshot into a step report.
-func fillReport(rep *StepReport, col *metrics.Collector, cores int) {
+// fillReport copies the step's collector snapshot and quiescence journal
+// into its report.
+func fillReport(rep *StepReport, run *jobRun, cores int) {
+	col := run.col
 	in, ex := col.Steals()
 	rep.Balance = col.Balance()
 	if rep.Wall > 0 {
@@ -286,6 +322,26 @@ func fillReport(rep *StepReport, col *metrics.Collector, cores int) {
 	rep.StealOverhead = col.StealOverhead()
 	rep.PeakStateBytes = col.PeakStateBytes()
 	rep.AbandonedExts = col.AbandonedExts()
+	rep.Metrics = col.Snapshot()
+	rep.Rounds = run.rounds
+	rep.RoundsTotal = run.roundsTotal
+}
+
+// buildReport assembles the run-level observability record.
+func (r *Runtime) buildReport(res *Result, tracer *metrics.Tracer, preStats TransportStats) *RunReport {
+	rep := &RunReport{
+		Workers:        r.cfg.Workers,
+		CoresPerWorker: r.cfg.CoresPerWorker,
+		WS:             r.cfg.WS.String(),
+		Wall:           res.Wall,
+		Steps:          res.Steps,
+		Transport:      r.transportStats().sub(preStats),
+	}
+	if tracer != nil {
+		rep.Trace = tracer.Events()
+		rep.TraceDropped = tracer.Dropped()
+	}
+	return rep
 }
 
 // effectFree reports whether a step computes no new aggregation and visits
@@ -315,6 +371,9 @@ func (r *Runtime) executeStep(ctx context.Context, run *jobRun, idx int, s *step
 			r.broadcastCancel(run, idx)
 		}
 	}()
+	if run.tracer != nil {
+		run.tracer.Emit(metrics.TraceEvent{Kind: metrics.TraceStepStart, Step: idx, Worker: -1, Core: -1})
+	}
 	startBody := encode(stepStartMsg{Job: run.job, Step: idx})
 	for i := range r.workers {
 		if e := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepStart, Body: startBody}); e != nil {
@@ -330,7 +389,13 @@ func (r *Runtime) executeStep(ctx context.Context, run *jobRun, idx int, s *step
 			return &WorkerLostError{Worker: i, Phase: "step-end", Err: e}
 		}
 	}
-	return r.collectAggregations(ctx, run, idx, s)
+	if err := r.collectAggregations(ctx, run, idx, s); err != nil {
+		return err
+	}
+	if run.tracer != nil {
+		run.tracer.Emit(metrics.TraceEvent{Kind: metrics.TraceStepEnd, Step: idx, Worker: -1, Core: -1})
+	}
+	return nil
 }
 
 // cancelDrainWait bounds how long the master waits for workers to
@@ -350,11 +415,22 @@ const cancelDrainWait = 75 * time.Millisecond
 // means its last metrics flush may be missed.
 func (r *Runtime) broadcastCancel(run *jobRun, idx int) {
 	run.cancelled.Store(true)
+	if run.tracer != nil {
+		run.tracer.Emit(metrics.TraceEvent{Kind: metrics.TraceCancel, Step: idx, Worker: -1, Core: -1})
+	}
 	body := encode(cancelMsg{Job: run.job, Step: idx})
 	for i := range r.workers {
 		r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kCancel, Body: body})
 	}
 	acked := map[int]bool{}
+	defer func() {
+		if run.tracer != nil {
+			run.tracer.Emit(metrics.TraceEvent{
+				Kind: metrics.TraceDrain, Step: idx,
+				Worker: -1, Core: -1, Value: int64(len(acked)),
+			})
+		}
+	}()
 	deadline := time.NewTimer(cancelDrainWait)
 	defer deadline.Stop()
 	for len(acked) < len(r.workers) {
@@ -400,6 +476,7 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 
 	for {
 		round++
+		roundStart := time.Now()
 		ping := encode(statusPingMsg{Job: run.job, Step: idx, Round: round})
 		for i := range r.workers {
 			if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStatusPing, Body: ping}); err != nil {
@@ -433,11 +510,12 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 		}
 		var cur snap
 		cur.ok = true
-		var reqSent, respRecv, reqRecv, respSent int64
+		var active, reqSent, respRecv, reqRecv, respSent int64
 		for _, m := range reports {
 			if m.Active != 0 {
 				cur.ok = false
 			}
+			active += m.Active
 			cur.processed += m.Processed
 			reqSent += m.ReqSent
 			respRecv += m.RespRecv
@@ -447,6 +525,10 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 		if reqSent != respRecv || reqRecv != respSent {
 			cur.ok = false
 		}
+		run.recordRound(idx, QuiescenceRound{
+			Round: round, Wait: time.Since(roundStart),
+			Active: active, Processed: cur.processed,
+		})
 		if cur.ok && prev.ok && cur.processed == prev.processed {
 			return nil
 		}
@@ -503,7 +585,9 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 					continue
 				}
 				if err := store.DecodeAndMerge(m.Data); err != nil {
-					return fmt.Errorf("merging %q from worker %d: %w", m.Name, m.Worker, err)
+					return &AggregationError{Worker: -1, Reasons: []string{
+						fmt.Sprintf("merging %q from worker %d: %v", m.Name, m.Worker, err),
+					}}
 				}
 				received[m.Worker]++
 				if exp, ok := expected[m.Worker]; ok && received[m.Worker] == exp {
@@ -514,6 +598,12 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 				var m aggDoneMsg
 				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
 					continue
+				}
+				if len(m.Errs) > 0 {
+					// The worker could not assemble (or ship) some of its
+					// partials: fail the step rather than commit a result
+					// that silently misses its contribution.
+					return &AggregationError{Worker: m.Worker, Reasons: m.Errs}
 				}
 				expected[m.Worker] = m.Sent
 				if received[m.Worker] == m.Sent {

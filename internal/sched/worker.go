@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -27,6 +28,11 @@ type stepCtx struct {
 
 	localAggs  []map[string]agg.Store // per core, per aggregation name
 	stateBytes []atomic.Int64         // per global core
+	stateTotal *atomic.Int64          // shared sum of stateBytes, kept by deltas
+
+	// tracer is the run's trace journal; nil when tracing is disabled, so
+	// every event site is one pointer comparison on the fast path.
+	tracer *metrics.Tracer
 
 	active    atomic.Int64
 	processed atomic.Int64
@@ -172,6 +178,8 @@ func (w *worker) startStep(m stepStartMsg) {
 		col:        run.col,
 		totalCores: w.cfg.TotalCores(),
 		stateBytes: run.stateBytes,
+		stateTotal: &run.stateTotal,
+		tracer:     run.tracer,
 		abort:      &run.cancelled,
 		doneCh:     make(chan struct{}),
 	}
@@ -205,7 +213,10 @@ func (w *worker) startStep(m stepStartMsg) {
 }
 
 // endStep stops the cores, merges the per-core aggregation partials, and
-// ships them to the master.
+// ships them to the master. A partial that cannot be merged, encoded, or
+// shipped is reported in the done message's error list — never silently
+// skipped, which would commit a wrong (partially merged) or missing
+// aggregation with no indication.
 func (w *worker) endStep(m stepEndMsg) {
 	w.mu.Lock()
 	st := w.cur
@@ -220,23 +231,36 @@ func (w *worker) endStep(m stepEndMsg) {
 	w.mu.Unlock()
 
 	sent := 0
+	var errs []string
 	for _, sp := range st.s.AggSpecs() {
 		merged := sp.Proto.NewEmpty()
+		var stepErr error
 		for i := range w.cores {
 			if err := merged.MergeFrom(st.localAggs[i][sp.Name]); err != nil {
-				continue
+				stepErr = fmt.Errorf("merging core %d partial of %q: %w", i, sp.Name, err)
+				break
 			}
 		}
-		data, err := merged.Encode()
-		if err != nil {
+		var data []byte
+		if stepErr == nil {
+			var err error
+			if data, err = merged.Encode(); err != nil {
+				stepErr = fmt.Errorf("encoding %q: %w", sp.Name, err)
+			}
+		}
+		if stepErr == nil {
+			msg := aggDataMsg{Job: st.job, Step: st.index, Worker: w.id, Name: sp.Name, Data: data}
+			if err := w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggData, Body: encode(msg)}); err != nil {
+				stepErr = fmt.Errorf("shipping %q: %w", sp.Name, err)
+			}
+		}
+		if stepErr != nil {
+			errs = append(errs, stepErr.Error())
 			continue
 		}
-		msg := aggDataMsg{Job: st.job, Step: st.index, Worker: w.id, Name: sp.Name, Data: data}
-		if w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggData, Body: encode(msg)}) == nil {
-			sent++
-		}
+		sent++
 	}
-	done := aggDoneMsg{Job: st.job, Step: st.index, Worker: w.id, Sent: sent}
+	done := aggDoneMsg{Job: st.job, Step: st.index, Worker: w.id, Sent: sent, Errs: errs}
 	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggDone, Body: encode(done)})
 }
 

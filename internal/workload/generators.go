@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"fractal/internal/graph"
 )
@@ -101,7 +102,16 @@ func BarabasiAlbertCapped(name string, n, mPer, labels, maxDeg int, seed int64) 
 			}
 			chosen[u] = true
 		}
+		// Drain chosen in sorted order: map iteration order would otherwise
+		// leak into the urn layout and make later preferential-attachment
+		// draws — and thus the whole graph — vary between runs of the same
+		// seed.
+		picks := make([]graph.VertexID, 0, len(chosen))
 		for u := range chosen {
+			picks = append(picks, u)
+		}
+		sort.Slice(picks, func(i, j int) bool { return picks[i] < picks[j] })
+		for _, u := range picks {
 			b.MustAddEdge(graph.VertexID(v), u)
 			urn = append(urn, graph.VertexID(v), u)
 			degree[u]++

@@ -1,4 +1,4 @@
-.PHONY: check test build vet bench
+.PHONY: check test build vet bench bench-micro
 
 check:
 	./scripts/check.sh
@@ -14,3 +14,8 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Extension-kernel and set-intersection microbenchmarks (EXPERIMENTS.md).
+bench-micro:
+	go test -run=NONE -bench='Extensions|Enumerate|Intersect' -benchmem \
+		./internal/subgraph/ ./internal/graph/

@@ -52,15 +52,15 @@ func init() {
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "input graph file (.graph, .el)")
-		app       = flag.String("app", "", "application to run")
-		k         = flag.Int("k", 3, "subgraph size (motifs, cliques)")
-		kclist    = flag.Bool("kclist", false, "use the KClist custom enumerator (cliques)")
-		support   = flag.Int64("support", 100, "minimum support (fsm)")
-		maxEdges  = flag.Int("maxedges", 3, "maximum pattern edges (fsm)")
-		reduce    = flag.Bool("reduce", false, "enable graph reduction (fsm, keywords)")
-		queryName = flag.String("pattern", "triangle", "query pattern (query)")
-		keywords  = flag.String("keywords", "", "comma-separated query keywords (keywords)")
+		graphPath  = flag.String("graph", "", "input graph file (.graph, .el)")
+		app        = flag.String("app", "", "application to run")
+		k          = flag.Int("k", 3, "subgraph size (motifs, cliques)")
+		kclist     = flag.Bool("kclist", false, "use the KClist custom enumerator (cliques)")
+		support    = flag.Int64("support", 100, "minimum support (fsm)")
+		maxEdges   = flag.Int("maxedges", 3, "maximum pattern edges (fsm)")
+		reduce     = flag.Bool("reduce", false, "enable graph reduction (fsm, keywords)")
+		queryName  = flag.String("pattern", "triangle", "query pattern (query)")
+		keywords   = flag.String("keywords", "", "comma-separated query keywords (keywords)")
 		workers    = flag.Int("workers", 1, "number of workers")
 		cores      = flag.Int("cores", 4, "cores per worker")
 		wsMode     = flag.String("ws", "both", "work stealing: none|internal|external|both")

@@ -70,6 +70,7 @@ func Experiments() []Experiment {
 		{"sec43", "Section 4.3: reduction of V/E/EC for keyword queries", Sec43},
 		{"sec6", "Section 6: work-stealing overhead", Sec6},
 		{"obs", "Observability: trace journal + metrics snapshot drilldown", Obs},
+		{"micro", "Microbenchmarks: extension kernels and set intersection", Micro},
 	}
 }
 

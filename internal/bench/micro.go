@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+	"fractal/internal/subgraph"
+	"fractal/internal/workload"
+)
+
+// Micro reports the extension-kernel microbenchmarks: one Extensions call
+// per kind on a heavy-tailed graph, plus the raw set-intersection kernels.
+// These are the same hot paths as the `make bench-micro` go benchmarks, in
+// experiment form so a harness run records kernel health next to the
+// end-to-end figures. Timing is hand-rolled (fixed iteration counts) so the
+// Quick regime stays fast; allocs/op is measured exactly and must be 0 for
+// every row — the kernels are allocation-free in steady state by contract.
+func Micro(o Options) error {
+	n, iters := 2000, 50000
+	if o.Quick {
+		n, iters = 300, 2000
+	}
+	g := workload.BarabasiAlbert("micro-ba", n, 8, 3, 42)
+	hub := graph.VertexID(0)
+	for v := 1; v < g.NumVertices(); v++ {
+		if g.Degree(graph.VertexID(v)) > g.Degree(hub) {
+			hub = graph.VertexID(v)
+		}
+	}
+
+	ev := subgraph.New(g, subgraph.VertexInduced, nil)
+	nb := g.Neighbors(hub)
+	ev.Push(subgraph.Word(hub))
+	ev.Push(subgraph.Word(nb[len(nb)/2]))
+	ev.Push(subgraph.Word(nb[len(nb)-1]))
+
+	ee := subgraph.New(g, subgraph.EdgeInduced, nil)
+	ids := g.IncidentEdges(hub)
+	ee.Push(subgraph.Word(ids[0]))
+	ee.Push(subgraph.Word(ids[len(ids)/2]))
+
+	pl, err := pattern.NewPlan(pattern.Clique(4))
+	if err != nil {
+		return err
+	}
+	ep := subgraph.New(g, subgraph.PatternInduced, pl)
+	second := graph.NilVertex
+	for _, u := range g.Neighbors(hub) {
+		if u > hub && (second == graph.NilVertex || g.Degree(u) > g.Degree(second)) {
+			second = u
+		}
+	}
+	if second == graph.NilVertex {
+		return fmt.Errorf("bench: hub %d has no neighbor above it", hub)
+	}
+	ep.Push(subgraph.Word(hub))
+	ep.Push(subgraph.Word(second))
+
+	var buf []subgraph.Word
+	extRow := func(e *subgraph.Embedding) func() {
+		return func() { buf, _ = e.Extensions(buf[:0]) }
+	}
+	small := make([]int32, 0, 32)
+	for _, u := range g.Neighbors(hub) {
+		if len(small) == cap(small) {
+			break
+		}
+		if len(small) == 0 || int32(u) != small[len(small)-1] {
+			small = append(small, int32(u))
+		}
+	}
+	big := make([]int32, 0, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v += 2 {
+		big = append(big, int32(v))
+	}
+	dst := make([]int32, 0, len(small))
+	rows := []struct {
+		name string
+		fn   func()
+	}{
+		{"extensions/vertex", extRow(ev)},
+		{"extensions/edge", extRow(ee)},
+		{"extensions/pattern", extRow(ep)},
+		{"intersect/merge", func() { dst = graph.IntersectSorted(small, small, dst[:0]) }},
+		{"intersect/gallop", func() { dst = graph.IntersectSorted(small, big, dst[:0]) }},
+	}
+
+	tw := table(o.out())
+	fmt.Fprintln(tw, "kernel\tns/op\tallocs/op")
+	for _, r := range rows {
+		r.fn() // warm lazily-sized scratch before measuring
+		allocs := testing.AllocsPerRun(10, r.fn)
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			r.fn()
+		}
+		nsOp := time.Since(t0).Nanoseconds() / int64(iters)
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\n", r.name, nsOp, allocs)
+		if allocs != 0 {
+			return fmt.Errorf("bench: kernel %s allocates %.1f times per op, want 0", r.name, allocs)
+		}
+	}
+	return tw.Flush()
+}

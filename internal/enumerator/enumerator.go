@@ -7,9 +7,19 @@
 // Consumption of extensions is thread-safe and constitutes the only critical
 // section shared between an owning core and thieves, which keeps stealing
 // overhead low (Section 6 reports ~1%).
+//
+// Allocation discipline. A DFS step churns through one enumerator per
+// enumerated subgraph, so the Stack pools both the Enumerator objects and
+// their word slices: PushCopy copies a prefix and extension list into pooled
+// storage, and Pop returns the retired level's storage to the pool. Retiring
+// a level marks it dead under its own mutex before its slices are reused, so
+// a thief still holding the pointer from an earlier scan observes an empty
+// enumerator instead of recycled memory.
 package enumerator
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"fractal/internal/subgraph"
@@ -26,6 +36,10 @@ type Enumerator struct {
 	prefix []Word
 	exts   []Word
 	next   int
+	// dead marks a level retired by its owning Stack: its slices may have
+	// been recycled into new levels, so every consumer must observe it as
+	// exhausted. Set and read under mu.
+	dead bool
 
 	// Depth-0 enumerators iterate an implicit strided slice of the initial
 	// domain instead of a materialized extension list.
@@ -44,8 +58,12 @@ func New(prefix []Word, exts []Word) *Enumerator {
 // NewRoot returns the depth-0 enumerator of a core: it yields the initial
 // extension words {coreID, coreID+totalCores, ...} below domain, the
 // on-the-fly partition of the input graph described in Section 4
-// ("Scheduling and execution").
+// ("Scheduling and execution"). domain must fit in an int32 extension word;
+// NewRoot panics instead of silently truncating it.
 func NewRoot(coreID, totalCores, domain int) *Enumerator {
+	if domain < 0 || domain > math.MaxInt32 {
+		panic(fmt.Sprintf("enumerator: initial domain %d does not fit int32 extension words", domain))
+	}
 	return &Enumerator{
 		root:   true,
 		cursor: int32(coreID),
@@ -54,18 +72,26 @@ func NewRoot(coreID, totalCores, domain int) *Enumerator {
 	}
 }
 
-// Prefix returns the enumeration prefix. The slice is immutable after
-// construction and safe to read concurrently.
+// Prefix returns the enumeration prefix. Owner-only: pooled levels may have
+// their prefix recycled after Pop, so only the core that pushed the level
+// (and external tests holding non-pooled enumerators) may call it.
 func (e *Enumerator) Prefix() []Word { return e.prefix }
 
-// Depth returns the number of words in the prefix.
+// Depth returns the number of words in the prefix. Owner-only, like Prefix.
 func (e *Enumerator) Depth() int { return len(e.prefix) }
 
 // Take consumes and returns the next extension. ok is false when the
-// enumerator is exhausted.
+// enumerator is exhausted (or retired by its stack).
 func (e *Enumerator) Take() (w Word, ok bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.takeLocked()
+}
+
+func (e *Enumerator) takeLocked() (w Word, ok bool) {
+	if e.dead {
+		return 0, false
+	}
 	if e.root {
 		if e.cursor >= e.limit {
 			return 0, false
@@ -86,6 +112,13 @@ func (e *Enumerator) Take() (w Word, ok bool) {
 func (e *Enumerator) Remaining() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.remainingLocked()
+}
+
+func (e *Enumerator) remainingLocked() int {
+	if e.dead {
+		return 0
+	}
 	if e.root {
 		if e.cursor >= e.limit {
 			return 0
@@ -95,13 +128,28 @@ func (e *Enumerator) Remaining() int {
 	return len(e.exts) - e.next
 }
 
+// stateWords returns prefix length plus unconsumed extensions, the words of
+// live state this level pins (Section 4.1, Table 2).
+func (e *Enumerator) stateWords() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		return 0
+	}
+	return len(e.prefix) + e.remainingLocked()
+}
+
 // StealOne consumes one extension on behalf of a thief and returns the full
 // stolen prefix (this enumerator's prefix plus the taken word) as a fresh
 // slice the thief may keep. This is the extend() of Figure 7 applied by a
 // non-owner: the subgraph prefix is copied and the extension consumption is
-// the short critical section shared with the owner.
+// the short critical section shared with the owner. The copy happens inside
+// that critical section so a concurrent Pop cannot recycle the prefix out
+// from under the thief.
 func (e *Enumerator) StealOne() (stolen []Word, ok bool) {
-	w, ok := e.Take()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w, ok := e.takeLocked()
 	if !ok {
 		return nil, false
 	}
@@ -111,6 +159,35 @@ func (e *Enumerator) StealOne() (stolen []Word, ok bool) {
 	return stolen, true
 }
 
+// retire marks the enumerator dead and detaches its slices for reuse.
+func (e *Enumerator) retire() (prefix, exts []Word) {
+	e.mu.Lock()
+	e.dead = true
+	prefix, exts = e.prefix, e.exts
+	e.prefix, e.exts = nil, nil
+	e.mu.Unlock()
+	return prefix, exts
+}
+
+// revive prepares a pooled enumerator for a new level. The reset happens
+// under mu because a stale thief may race a StealOne against it.
+func (e *Enumerator) revive(prefix, exts []Word) {
+	e.mu.Lock()
+	e.dead = false
+	e.root = false
+	e.next = 0
+	e.cursor, e.limit, e.stride = 0, 0, 0
+	e.prefix, e.exts = prefix, exts
+	e.mu.Unlock()
+}
+
+// Pool size caps: deep enough for any realistic enumeration depth, small
+// enough that an idle core pins only a few KB.
+const (
+	maxPoolEnums = 64
+	maxPoolBufs  = 128
+)
+
 // Stack is the per-core stack of live enumerators, one per extension level
 // (the depth-first state of Algorithm 1). The owning core pushes and pops;
 // thieves scan it bottom-up to steal the shallowest available work, which
@@ -118,19 +195,74 @@ func (e *Enumerator) StealOne() (stolen []Word, ok bool) {
 type Stack struct {
 	mu     sync.Mutex
 	levels []*Enumerator
+
+	// Free lists for PushCopy/Pop recycling.
+	freeEnums []*Enumerator
+	freeBufs  [][]Word
 }
 
-// Push appends a level.
+// Push appends a level. The enumerator becomes stack-owned: a later Pop,
+// Clear, or Abandon retires it and recycles its slices.
 func (s *Stack) Push(e *Enumerator) {
 	s.mu.Lock()
 	s.levels = append(s.levels, e)
 	s.mu.Unlock()
 }
 
-// Pop removes the top level.
+// PushCopy appends a level holding copies of prefix and exts in pooled
+// storage — the allocation-free steady-state path of the DFS loop. The
+// caller keeps ownership of both arguments.
+func (s *Stack) PushCopy(prefix, exts []Word) *Enumerator {
+	s.mu.Lock()
+	e := s.takeEnumLocked()
+	p := append(s.takeBufLocked(), prefix...)
+	x := append(s.takeBufLocked(), exts...)
+	e.revive(p, x)
+	s.levels = append(s.levels, e)
+	s.mu.Unlock()
+	return e
+}
+
+func (s *Stack) takeEnumLocked() *Enumerator {
+	if n := len(s.freeEnums); n > 0 {
+		e := s.freeEnums[n-1]
+		s.freeEnums = s.freeEnums[:n-1]
+		return e
+	}
+	return &Enumerator{}
+}
+
+func (s *Stack) takeBufLocked() []Word {
+	if n := len(s.freeBufs); n > 0 {
+		b := s.freeBufs[n-1]
+		s.freeBufs = s.freeBufs[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+// recycleLocked retires e and returns its storage to the pools.
+func (s *Stack) recycleLocked(e *Enumerator) {
+	prefix, exts := e.retire()
+	if !e.root && len(s.freeEnums) < maxPoolEnums {
+		s.freeEnums = append(s.freeEnums, e)
+	}
+	if prefix != nil && len(s.freeBufs) < maxPoolBufs {
+		s.freeBufs = append(s.freeBufs, prefix)
+	}
+	if exts != nil && len(s.freeBufs) < maxPoolBufs {
+		s.freeBufs = append(s.freeBufs, exts)
+	}
+}
+
+// Pop removes and recycles the top level. Popping an empty stack is a no-op.
 func (s *Stack) Pop() {
 	s.mu.Lock()
-	s.levels = s.levels[:len(s.levels)-1]
+	if n := len(s.levels); n > 0 {
+		e := s.levels[n-1]
+		s.levels = s.levels[:n-1]
+		s.recycleLocked(e)
+	}
 	s.mu.Unlock()
 }
 
@@ -151,9 +283,12 @@ func (s *Stack) Depth() int {
 	return len(s.levels)
 }
 
-// Clear drops all levels (end of a step).
+// Clear drops all levels (end of a step), recycling their storage.
 func (s *Stack) Clear() {
 	s.mu.Lock()
+	for _, e := range s.levels {
+		s.recycleLocked(e)
+	}
 	s.levels = s.levels[:0]
 	s.mu.Unlock()
 }
@@ -161,19 +296,18 @@ func (s *Stack) Clear() {
 // Abandon drops all levels and returns the number of unconsumed extensions
 // discarded with them. A cancelled step calls this instead of Clear so the
 // runtime can report how much enumeration work was left behind (a lower
-// bound: each abandoned extension rooted an unexplored subtree). Thieves
-// holding a snapshot of the old levels may still drain them concurrently;
-// the count is therefore an instantaneous estimate, which is all a
-// cancellation report needs.
+// bound: each abandoned extension rooted an unexplored subtree). Levels are
+// retired before recycling, so thieves holding a snapshot of them find no
+// work — cancelled subtrees cannot leak back in through a steal.
 func (s *Stack) Abandon() int64 {
 	s.mu.Lock()
-	levels := s.levels
+	var n int64
+	for _, e := range s.levels {
+		n += int64(e.Remaining())
+		s.recycleLocked(e)
+	}
 	s.levels = nil
 	s.mu.Unlock()
-	var n int64
-	for _, e := range levels {
-		n += int64(e.Remaining())
-	}
 	return n
 }
 
@@ -200,7 +334,7 @@ func (s *Stack) StateBytes() int64 {
 	s.mu.Unlock()
 	var total int64
 	for _, e := range snapshot {
-		total += int64(4 * (len(e.prefix) + e.Remaining()))
+		total += int64(4 * e.stateWords())
 	}
 	return total
 }

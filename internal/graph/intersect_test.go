@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveIntersect is the quadratic reference: distinct values in both inputs.
+func naiveIntersect(a, b []int32) []int32 {
+	var out []int32
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if found && (len(out) == 0 || out[len(out)-1] != x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func naiveDiff(a, b []int32) []int32 {
+	var out []int32
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found && (len(out) == 0 || out[len(out)-1] != x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func sortedRandom(rng *rand.Rand, n, max int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(rng.Intn(max))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGallop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		a := sortedRandom(rng, rng.Intn(40), 60)
+		x := int32(rng.Intn(70))
+		got := Gallop(a, x)
+		want := sort.Search(len(a), func(i int) bool { return a[i] >= x })
+		if got != want {
+			t.Fatalf("Gallop(%v, %d) = %d, want %d", a, x, got, want)
+		}
+	}
+}
+
+func TestIntersectSortedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 1000; iter++ {
+		// Skewed sizes hit both the merge and the gallop kernels.
+		a := sortedRandom(rng, rng.Intn(30), 50)
+		b := sortedRandom(rng, rng.Intn(300), 50)
+		got := IntersectSorted(a, b, nil)
+		want := naiveIntersect(a, b)
+		if !equalInt32(got, want) {
+			t.Fatalf("IntersectSorted(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		// Symmetric.
+		if rev := IntersectSorted(b, a, nil); !equalInt32(rev, got) {
+			t.Fatalf("IntersectSorted not symmetric: %v vs %v", rev, got)
+		}
+	}
+}
+
+func TestIntersectSortedAppendsToDst(t *testing.T) {
+	dst := []int32{-7}
+	got := IntersectSorted([]int32{1, 2, 3}, []int32{2, 3, 4}, dst)
+	if !equalInt32(got, []int32{-7, 2, 3}) {
+		t.Fatalf("got %v, want [-7 2 3]", got)
+	}
+}
+
+func TestDiffSortedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 1000; iter++ {
+		a := sortedRandom(rng, rng.Intn(40), 40)
+		b := sortedRandom(rng, rng.Intn(40), 40)
+		got := DiffSorted(a, b, nil)
+		want := naiveDiff(a, b)
+		if !equalInt32(got, want) {
+			t.Fatalf("DiffSorted(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestIntersectMulti(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 500; iter++ {
+		k := 1 + rng.Intn(4)
+		lists := make([][]int32, k)
+		for i := range lists {
+			lists[i] = sortedRandom(rng, rng.Intn(60), 40)
+		}
+		want := naiveIntersect(lists[0], lists[0]) // dedup of first list
+		for _, l := range lists[1:] {
+			want = naiveIntersect(want, l)
+		}
+		got, _ := IntersectMulti(lists, nil, nil)
+		if !equalInt32(got, want) {
+			t.Fatalf("IntersectMulti(%v) = %v, want %v", lists, got, want)
+		}
+	}
+	if out, _ := IntersectMulti[int32](nil, nil, nil); len(out) != 0 {
+		t.Fatalf("IntersectMulti(nil) = %v, want empty", out)
+	}
+}
+
+func TestIntersectKernelsSteadyStateAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := sortedRandom(rng, 50, 200)
+	b := sortedRandom(rng, 500, 200)
+	dst := make([]int32, 0, len(a))
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = IntersectSorted(a, b, dst[:0])
+		dst = DiffSorted(a, b, dst[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("kernels allocate %.1f times per run with sufficient dst capacity, want 0", allocs)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	small := sortedRandom(rng, 64, 1<<20)
+	comparable_ := sortedRandom(rng, 128, 1<<20)
+	big := sortedRandom(rng, 8192, 1<<20)
+	dst := make([]int32, 0, 256)
+	b.Run("merge-64x128", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectSorted(small, comparable_, dst[:0])
+		}
+	})
+	b.Run("gallop-64x8192", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = IntersectSorted(small, big, dst[:0])
+		}
+	})
+	b.Run("diff-64x8192", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = DiffSorted(small, big, dst[:0])
+		}
+	})
+}

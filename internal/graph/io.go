@@ -51,7 +51,7 @@ func LoadAdjacencyList(r io.Reader, name string) (*Graph, error) {
 			return nil, fmt.Errorf("graph: %s:%d: want at least vertex and label", name, line)
 		}
 		id, err := strconv.Atoi(fields[0])
-		if err != nil {
+		if err != nil || id < 0 {
 			return nil, fmt.Errorf("graph: %s:%d: bad vertex id %q", name, line, fields[0])
 		}
 		lbl, err := strconv.Atoi(fields[1])
@@ -62,7 +62,7 @@ func LoadAdjacencyList(r io.Reader, name string) (*Graph, error) {
 		b.SetVertexLabels(VertexID(id), Label(lbl))
 		for _, f := range fields[2:] {
 			nb, err := strconv.Atoi(f)
-			if err != nil {
+			if err != nil || nb < 0 {
 				return nil, fmt.Errorf("graph: %s:%d: bad neighbor %q", name, line, f)
 			}
 			if id < nb {
@@ -102,7 +102,7 @@ func LoadEdgeList(r io.Reader, name string) (*Graph, error) {
 				return nil, fmt.Errorf("graph: %s:%d: v needs id", name, line)
 			}
 			id, err := strconv.Atoi(fields[1])
-			if err != nil {
+			if err != nil || id < 0 {
 				return nil, fmt.Errorf("graph: %s:%d: bad vertex id", name, line)
 			}
 			b.EnsureVertices(id + 1)
@@ -115,7 +115,7 @@ func LoadEdgeList(r io.Reader, name string) (*Graph, error) {
 			}
 			u, err1 := strconv.Atoi(fields[1])
 			v, err2 := strconv.Atoi(fields[2])
-			if err1 != nil || err2 != nil {
+			if err1 != nil || err2 != nil || u < 0 || v < 0 {
 				return nil, fmt.Errorf("graph: %s:%d: bad endpoints", name, line)
 			}
 			b.EnsureVertices(max(u, v) + 1)
@@ -186,7 +186,7 @@ func ApplyKeywords(g *Graph, r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: keywords line %d: want kind id kws", line)
 		}
 		id, err := strconv.Atoi(fields[1])
-		if err != nil {
+		if err != nil || id < 0 {
 			return nil, fmt.Errorf("graph: keywords line %d: bad id", line)
 		}
 		kws := internList(b.Dict(), fields[2])

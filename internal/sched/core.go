@@ -191,8 +191,9 @@ func (c *core) process(st *stepCtx, emb *subgraph.Embedding, depth int, w subgra
 			c.extScratch = exts
 			st.col.AddExtensionTests(c.global, int64(tested))
 			if len(exts) > 0 {
-				prefix := append([]subgraph.Word(nil), emb.Words()...)
-				c.stack.Push(enumerator.New(prefix, append([]subgraph.Word(nil), exts...)))
+				// PushCopy copies both slices into stack-pooled storage, so
+				// the steady-state DFS loop allocates nothing per subgraph.
+				c.stack.PushCopy(emb.Words(), exts)
 				c.observeState(st)
 			}
 			return

@@ -1,0 +1,128 @@
+package subgraph
+
+import (
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+	"fractal/internal/workload"
+)
+
+// The extension microbenchmarks measure the innermost loop of the system:
+// one Extensions call per enumerated subgraph (Algorithm 1). Run them with
+// `make bench-micro`; before/after numbers are recorded in EXPERIMENTS.md.
+
+// benchGraph is a heavy-tailed analog: hubs make candidate sets large, which
+// is what stresses the kernel layer.
+func benchGraph() *graph.Graph {
+	return workload.BarabasiAlbert("bench-ba", 2000, 8, 3, 42)
+}
+
+// benchEmbedding returns an embedding pushed to a prefix with a non-trivial
+// candidate frontier: a hub vertex plus two of its neighbors.
+func benchEmbedding(b *testing.B, g *graph.Graph, kind Kind) *Embedding {
+	b.Helper()
+	e := New(g, kind, nil)
+	if kind == VertexInduced {
+		hub := hubVertex(g)
+		e.Push(Word(hub))
+		nb := g.Neighbors(graph.VertexID(hub))
+		e.Push(Word(nb[len(nb)/2]))
+		e.Push(Word(nb[len(nb)-1]))
+		return e
+	}
+	// Edge-induced: two adjacent edges at the hub.
+	hub := graph.VertexID(hubVertex(g))
+	ids := g.IncidentEdges(hub)
+	e.Push(Word(ids[0]))
+	e.Push(Word(ids[len(ids)/2]))
+	return e
+}
+
+func hubVertex(g *graph.Graph) int {
+	hub := 0
+	for v := 1; v < g.NumVertices(); v++ {
+		if g.Degree(graph.VertexID(v)) > g.Degree(graph.VertexID(hub)) {
+			hub = v
+		}
+	}
+	return hub
+}
+
+func BenchmarkVertexExtensions(b *testing.B) {
+	g := benchGraph()
+	e := benchEmbedding(b, g, VertexInduced)
+	var buf []Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = e.Extensions(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("no extensions")
+	}
+}
+
+func BenchmarkEdgeExtensions(b *testing.B) {
+	g := benchGraph()
+	e := benchEmbedding(b, g, EdgeInduced)
+	var buf []Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = e.Extensions(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("no extensions")
+	}
+}
+
+func BenchmarkPatternExtensions(b *testing.B) {
+	g := benchGraph()
+	pl, err := pattern.NewPlan(pattern.Clique(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New(g, PatternInduced, pl)
+	// Bind the first two plan levels to a hub edge so level 2 is a genuine
+	// two-anchor intersection. Clique symmetry breaking binds vertices in
+	// increasing ID order, so the second vertex must lie above the hub.
+	hub := graph.VertexID(hubVertex(g))
+	second := graph.NilVertex
+	for _, u := range g.Neighbors(hub) {
+		if u > hub && (second == graph.NilVertex || g.Degree(u) > g.Degree(second)) {
+			second = u
+		}
+	}
+	e.Push(Word(hub))
+	e.Push(Word(second))
+	if exts, _ := e.Extensions(nil); len(exts) == 0 {
+		b.Fatal("benchmark prefix has no extensions")
+	}
+	var buf []Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, _ = e.Extensions(buf[:0])
+	}
+}
+
+// BenchmarkEnumerateVertex measures a full depth-3 enumeration walk (Push,
+// Extensions, Pop) — the steady-state mix the engine runs.
+func BenchmarkEnumerateVertex(b *testing.B) {
+	g := workload.BarabasiAlbert("bench-ba-small", 300, 5, 1, 7)
+	e := New(g, VertexInduced, nil)
+	var buf []Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := Word(i % g.NumVertices())
+		e.Reset()
+		e.Push(v)
+		buf, _ = e.Extensions(buf[:0])
+		for _, w := range buf {
+			e.Push(w)
+			e.Pop()
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// The BenchmarkExtensions{Vertex,Edge,Pattern} trio measures the runtime's
+// full per-extension path — one Extensions call plus materializing the
+// resulting enumerator level on the per-core stack, exactly what
+// sched.core.process pays per enumerated subgraph. This is an external test
+// package so it can use internal/enumerator without an import cycle.
+package subgraph_test
+
+import (
+	"testing"
+
+	"fractal/internal/enumerator"
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+	"fractal/internal/subgraph"
+	"fractal/internal/workload"
+)
+
+type extendCase struct {
+	emb *subgraph.Embedding
+}
+
+func newExtendCase(b *testing.B, kind subgraph.Kind) *extendCase {
+	b.Helper()
+	g := workload.BarabasiAlbert("bench-ba", 2000, 8, 3, 42)
+	hub := graph.VertexID(0)
+	for v := 1; v < g.NumVertices(); v++ {
+		if g.Degree(graph.VertexID(v)) > g.Degree(hub) {
+			hub = graph.VertexID(v)
+		}
+	}
+	switch kind {
+	case subgraph.VertexInduced:
+		e := subgraph.New(g, kind, nil)
+		nb := g.Neighbors(hub)
+		e.Push(subgraph.Word(hub))
+		e.Push(subgraph.Word(nb[len(nb)/2]))
+		e.Push(subgraph.Word(nb[len(nb)-1]))
+		return &extendCase{emb: e}
+	case subgraph.EdgeInduced:
+		e := subgraph.New(g, kind, nil)
+		ids := g.IncidentEdges(hub)
+		e.Push(subgraph.Word(ids[0]))
+		e.Push(subgraph.Word(ids[len(ids)/2]))
+		return &extendCase{emb: e}
+	default:
+		pl, err := pattern.NewPlan(pattern.Clique(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := subgraph.New(g, subgraph.PatternInduced, pl)
+		// Clique symmetry breaking binds vertices in increasing ID order, so
+		// seed with a hub and its highest-degree neighbor above it to leave a
+		// non-empty common-neighbor frontier at level 2.
+		second := graph.NilVertex
+		for _, u := range g.Neighbors(hub) {
+			if u > hub && (second == graph.NilVertex || g.Degree(u) > g.Degree(second)) {
+				second = u
+			}
+		}
+		if second == graph.NilVertex {
+			b.Fatal("hub has no neighbor above it")
+		}
+		e.Push(subgraph.Word(hub))
+		e.Push(subgraph.Word(second))
+		return &extendCase{emb: e}
+	}
+}
+
+func benchExtend(b *testing.B, kind subgraph.Kind) {
+	c := newExtendCase(b, kind)
+	if exts, _ := c.emb.Extensions(nil); len(exts) == 0 {
+		b.Fatal("benchmark prefix has no extensions")
+	}
+	var stack enumerator.Stack
+	var buf []subgraph.Word
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exts, _ := c.emb.Extensions(buf[:0])
+		buf = exts
+		if len(exts) > 0 {
+			stack.PushCopy(c.emb.Words(), exts)
+			stack.Pop()
+		}
+	}
+}
+
+func BenchmarkExtensionsVertex(b *testing.B)  { benchExtend(b, subgraph.VertexInduced) }
+func BenchmarkExtensionsEdge(b *testing.B)    { benchExtend(b, subgraph.EdgeInduced) }
+func BenchmarkExtensionsPattern(b *testing.B) { benchExtend(b, subgraph.PatternInduced) }

@@ -1,0 +1,439 @@
+package subgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+	"fractal/internal/workload"
+)
+
+// This file is the differential-testing oracle for the extension kernels:
+// the seed (pre-kernel) implementations are retained verbatim below as
+// ref*Extensions and pinned against the production paths over randomized
+// graphs and embeddings. The extension word lists must match exactly (both
+// are sorted ascending and duplicate-free — an API guarantee); the tested
+// counts must match exactly for vertex- and edge-induced embeddings. The
+// pattern-induced tested count changed meaning with the k-way-intersection
+// rewrite (survivors of the intersection instead of all neighbors of the
+// least-degree anchor), so there the oracle checks tested_new <= tested_ref.
+
+// ---------------------------------------------------------------------------
+// Reference implementations (seed logic, map-based scratch kept local).
+
+func refVertexExtensions(e *Embedding, dst []Word) ([]Word, int) {
+	candFirst := map[Word]int{}
+	var candList []Word
+	for i, m := range e.vertices {
+		for _, u := range e.g.Neighbors(m) {
+			w := Word(u)
+			if _, ok := candFirst[w]; ok {
+				continue
+			}
+			if e.isMemberVertex(u) {
+				candFirst[w] = -1 // member sentinel
+				continue
+			}
+			candFirst[w] = i
+			candList = append(candList, w)
+		}
+	}
+	tested := 0
+	for _, w := range candList {
+		f := candFirst[w]
+		if f < 0 {
+			continue
+		}
+		tested++
+		if e.canonicalOK(w, f) {
+			dst = append(dst, w)
+		}
+	}
+	sortWords(dst)
+	return dst, tested
+}
+
+func refIsMemberEdge(e *Embedding, id graph.EdgeID) bool {
+	for _, m := range e.edges[:len(e.words)] {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func refFirstAdjacentMember(e *Embedding, id graph.EdgeID) int {
+	x := e.g.EdgeByID(id)
+	for i := 0; i < len(e.words); i++ {
+		m := e.g.EdgeByID(graph.EdgeID(e.words[i]))
+		if m.Has(x.Src) || m.Has(x.Dst) {
+			return i
+		}
+	}
+	return len(e.words) // unreachable for true candidates
+}
+
+func refEdgeExtensions(e *Embedding, dst []Word) ([]Word, int) {
+	candFirst := map[Word]int{}
+	var candList []Word
+	for _, v := range e.cover {
+		for _, id := range e.g.IncidentEdges(v) {
+			x := Word(id)
+			if _, ok := candFirst[x]; ok {
+				continue
+			}
+			if refIsMemberEdge(e, graph.EdgeID(x)) {
+				candFirst[x] = -1
+				continue
+			}
+			candFirst[x] = refFirstAdjacentMember(e, graph.EdgeID(x))
+			candList = append(candList, x)
+		}
+	}
+	tested := 0
+	for _, x := range candList {
+		f := candFirst[x]
+		if f < 0 {
+			continue
+		}
+		tested++
+		if e.canonicalOK(x, f) {
+			dst = append(dst, x)
+		}
+	}
+	sortWords(dst)
+	return dst, tested
+}
+
+func refContainsWord(ws []Word, w Word) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+func refPatternExtensions(e *Embedding, dst []Word) ([]Word, int) {
+	k := len(e.words)
+	if k >= len(e.plan.Order) {
+		return dst, 0
+	}
+	back := e.plan.Back[k]
+	want := e.plan.VLabels[k]
+	anchor := back[0]
+	for _, b := range back[1:] {
+		if e.g.Degree(e.vertices[b.Pos]) < e.g.Degree(e.vertices[anchor.Pos]) {
+			anchor = b
+		}
+	}
+	tested := 0
+	av := e.vertices[anchor.Pos]
+	for j, u := range e.g.Neighbors(av) {
+		tested++
+		if e.isMemberVertex(u) {
+			continue
+		}
+		if anchor.ELabel != pattern.NoLabel && e.g.EdgeLabel(e.g.IncidentEdges(av)[j]) != anchor.ELabel {
+			if e.edgeMatching(u, av, anchor.ELabel) == graph.NilEdge {
+				continue
+			}
+		}
+		if want != pattern.NoLabel && !graph.ContainsLabel(e.g.VertexLabels(u), want) {
+			continue
+		}
+		ok := true
+		for _, b := range back {
+			if b == anchor {
+				continue
+			}
+			if e.edgeMatching(u, e.vertices[b.Pos], b.ELabel) == graph.NilEdge {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if !e.plan.CheckBinding(k, u, e.vertices) {
+			continue
+		}
+		w := Word(u)
+		if refContainsWord(dst, w) {
+			continue
+		}
+		dst = append(dst, w)
+	}
+	sortWords(dst)
+	return dst, tested
+}
+
+func refExtensions(e *Embedding, dst []Word) ([]Word, int) {
+	switch e.kind {
+	case VertexInduced:
+		return refVertexExtensions(e, dst)
+	case EdgeInduced:
+		return refEdgeExtensions(e, dst)
+	default:
+		return refPatternExtensions(e, dst)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Oracle inputs.
+
+// oracleMultigraph builds a labeled multigraph: edges are sampled with
+// replacement, so parallel edges (with independently random labels) occur.
+func oracleMultigraph(name string, n, m, labels int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(name)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	for i := 0; i < m; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, graph.Label(rng.Intn(labels)))
+	}
+	return b.Build()
+}
+
+func oracleGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		workload.ErdosRenyi("oracle-er", 80, 300, 1, 1),
+		workload.ErdosRenyi("oracle-er-ml", 80, 300, 4, 2),
+		workload.BarabasiAlbert("oracle-ba", 150, 4, 3, 3),
+		oracleMultigraph("oracle-mg", 60, 260, 3, 4),
+	}
+}
+
+// labeledTriangle is a triangle with vertex- and edge-label constraints,
+// exercising the fused label filters of the pattern kernels.
+func labeledTriangle() *pattern.Pattern {
+	return pattern.NewBuilder(3).
+		SetVertexLabel(0, 0).SetVertexLabel(1, 1).SetVertexLabel(2, 2).
+		AddEdge(0, 1, 1).AddEdge(1, 2, pattern.NoLabel).AddEdge(0, 2, 2).
+		Build()
+}
+
+func oraclePlans(t *testing.T) []*pattern.Plan {
+	t.Helper()
+	var plans []*pattern.Plan
+	for _, p := range []*pattern.Pattern{
+		pattern.Clique(3), pattern.Clique(4), pattern.Cycle(4),
+		pattern.ChordalSquare(), labeledTriangle(),
+	} {
+		pl, err := pattern.NewPlan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, pl)
+	}
+	return plans
+}
+
+// ---------------------------------------------------------------------------
+// Randomized-walk differential test.
+
+func wordsEqual(a, b []Word) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffWalks performs random descents through the enumeration tree of e,
+// comparing the kernel path against ref at every visited embedding, and
+// returns the number of embeddings compared. exactTested pins the tested
+// counts equal; otherwise tested_new <= tested_ref is required.
+func diffWalks(t *testing.T, e *Embedding, maxDepth int, exactTested bool, seed int64, target int) int {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var got, want []Word
+	compared := 0
+	for walk := 0; compared < target && walk < 40*target; walk++ {
+		e.Reset()
+		w := Word(rng.Intn(e.InitialDomain()))
+		if !e.ValidInitial(w) {
+			continue
+		}
+		e.Push(w)
+		for e.Len() < maxDepth {
+			var gt, wt int
+			got, gt = e.Extensions(got[:0])
+			want, wt = refExtensions(e, want[:0])
+			if !wordsEqual(got, want) {
+				t.Fatalf("%s %s words=%v: kernel %v != ref %v",
+					e.g.Name(), e.kind, e.words, got, want)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("%s %s words=%v: extensions not strictly ascending: %v",
+						e.g.Name(), e.kind, e.words, got)
+				}
+			}
+			if exactTested && gt != wt {
+				t.Fatalf("%s %s words=%v: tested %d != ref %d",
+					e.g.Name(), e.kind, e.words, gt, wt)
+			}
+			if !exactTested && gt > wt {
+				t.Fatalf("%s %s words=%v: tested %d > ref %d",
+					e.g.Name(), e.kind, e.words, gt, wt)
+			}
+			compared++
+			if len(got) == 0 {
+				break
+			}
+			e.Push(got[rng.Intn(len(got))])
+		}
+	}
+	return compared
+}
+
+func TestDifferentialVertexExtensions(t *testing.T) {
+	compared := 0
+	for gi, g := range oracleGraphs() {
+		compared += diffWalks(t, New(g, VertexInduced, nil), 6, true, int64(100+gi), 400)
+	}
+	if compared < 1000 {
+		t.Fatalf("only %d embeddings compared, want >= 1000", compared)
+	}
+	t.Logf("vertex-induced: %d embeddings compared", compared)
+}
+
+func TestDifferentialEdgeExtensions(t *testing.T) {
+	compared := 0
+	for gi, g := range oracleGraphs() {
+		compared += diffWalks(t, New(g, EdgeInduced, nil), 5, true, int64(200+gi), 400)
+	}
+	if compared < 1000 {
+		t.Fatalf("only %d embeddings compared, want >= 1000", compared)
+	}
+	t.Logf("edge-induced: %d embeddings compared", compared)
+}
+
+func TestDifferentialPatternExtensions(t *testing.T) {
+	compared := 0
+	for gi, g := range oracleGraphs() {
+		for pi, pl := range oraclePlans(t) {
+			e := New(g, PatternInduced, pl)
+			compared += diffWalks(t, e, len(pl.Order), false, int64(300+10*gi+pi), 200)
+		}
+	}
+	if compared < 1000 {
+		t.Fatalf("only %d embeddings compared, want >= 1000", compared)
+	}
+	t.Logf("pattern-induced: %d embeddings compared", compared)
+}
+
+// ---------------------------------------------------------------------------
+// Full enumeration traces: a complete DFS driven by the kernel path and a
+// complete DFS driven by the reference path must visit identical trees.
+
+func enumerateTrace(e *Embedding, ext func(*Embedding, []Word) ([]Word, int), maxDepth int, trace []string) []string {
+	exts, _ := ext(e, nil)
+	trace = append(trace, fmt.Sprintf("%v:%v", e.words, exts))
+	if e.Len() >= maxDepth {
+		return trace
+	}
+	for _, w := range exts {
+		e.Push(w)
+		trace = enumerateTrace(e, ext, maxDepth, trace)
+		e.Pop()
+	}
+	return trace
+}
+
+func kernelExt(e *Embedding, dst []Word) ([]Word, int) { return e.Extensions(dst) }
+
+func compareTraces(t *testing.T, e *Embedding, maxDepth int) {
+	t.Helper()
+	var kernel, ref []string
+	for w := 0; w < e.InitialDomain(); w++ {
+		if !e.ValidInitial(Word(w)) {
+			continue
+		}
+		e.Reset()
+		e.Push(Word(w))
+		kernel = enumerateTrace(e, kernelExt, maxDepth, kernel)
+		e.Reset()
+		e.Push(Word(w))
+		ref = enumerateTrace(e, refExtensions, maxDepth, ref)
+	}
+	if len(kernel) != len(ref) {
+		t.Fatalf("%s %s: kernel trace has %d nodes, ref %d", e.g.Name(), e.kind, len(kernel), len(ref))
+	}
+	for i := range kernel {
+		if kernel[i] != ref[i] {
+			t.Fatalf("%s %s: trace diverges at node %d: kernel %q, ref %q",
+				e.g.Name(), e.kind, i, kernel[i], ref[i])
+		}
+	}
+	if len(kernel) == 0 {
+		t.Fatalf("%s %s: empty enumeration trace", e.g.Name(), e.kind)
+	}
+	t.Logf("%s %s: %d trace nodes equal", e.g.Name(), e.kind, len(kernel))
+}
+
+func TestFullTraceEquality(t *testing.T) {
+	small := []*graph.Graph{
+		workload.ErdosRenyi("trace-er", 40, 120, 2, 7),
+		oracleMultigraph("trace-mg", 30, 90, 3, 8),
+	}
+	for _, g := range small {
+		compareTraces(t, New(g, VertexInduced, nil), 4)
+		compareTraces(t, New(g, EdgeInduced, nil), 3)
+		for _, pl := range oraclePlans(t) {
+			compareTraces(t, New(g, PatternInduced, pl), len(pl.Order))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation behaviour: after warm-up, Extensions must not
+// allocate for any kind.
+
+func TestExtensionsSteadyStateAllocs(t *testing.T) {
+	g := workload.BarabasiAlbert("alloc-ba", 500, 6, 3, 9)
+	pl, err := pattern.NewPlan(pattern.Clique(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		emb  *Embedding
+	}{
+		{"vertex", New(g, VertexInduced, nil)},
+		{"edge", New(g, EdgeInduced, nil)},
+		{"pattern", New(g, PatternInduced, pl)},
+	}
+	cases[0].emb.Push(0)
+	cases[0].emb.Push(Word(g.Neighbors(0)[0]))
+	cases[1].emb.Push(Word(g.IncidentEdges(0)[0]))
+	cases[2].emb.Push(0)
+	for _, c := range cases {
+		var buf []Word
+		for i := 0; i < 3; i++ { // warm up lazily-sized scratch
+			buf, _ = c.emb.Extensions(buf[:0])
+		}
+		if len(buf) == 0 {
+			t.Fatalf("%s: warm-up produced no extensions", c.name)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			buf, _ = c.emb.Extensions(buf[:0])
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Extensions allocates %.1f times per call in steady state, want 0", c.name, allocs)
+		}
+	}
+}

@@ -77,10 +77,27 @@ type Embedding struct {
 	cover   []graph.VertexID
 	coverAt []int // cover growth per level
 
-	// Scratch for Extensions: candidate -> first adjacent member index.
-	candFirst map[Word]int
+	// Epoch-stamped scratch for Extensions. An entry of stampV/stampE is
+	// "seen this call" iff it equals gen; bumping gen invalidates every
+	// entry in O(1), so no per-call clear and no hashing. vfirst[v] holds
+	// the first member-edge index covering vertex v (valid only while
+	// stampV[v] == gen). The arrays are sized |V(G)| / |E(G)| and allocated
+	// lazily on the first Extensions call.
+	gen    uint32
+	stampV []uint32
+	stampE []uint32
+	vfirst []int32
+
+	// Candidate scratch: candList[i] is the i-th distinct non-member
+	// candidate discovered, candFirst[i] its first adjacent member index.
 	candList  []Word
+	candFirst []int32
 	scratchE  []graph.EdgeID
+
+	// Pattern-induced scratch: ping-pong buffers for the k-way anchor
+	// intersection and the anchor ordering.
+	pbuf0, pbuf1 []Word
+	backOrder    []pattern.BackRef
 
 	// custom, when non-nil, overrides extension-candidate generation
 	// (Appendix B; see CustomExtender).
@@ -93,7 +110,7 @@ func New(g *graph.Graph, kind Kind, plan *pattern.Plan) *Embedding {
 	if (kind == PatternInduced) != (plan != nil) {
 		panic("subgraph: plan must be given exactly for pattern-induced embeddings")
 	}
-	return &Embedding{g: g, kind: kind, plan: plan, candFirst: map[Word]int{}}
+	return &Embedding{g: g, kind: kind, plan: plan}
 }
 
 // Graph returns the input graph.
@@ -317,6 +334,20 @@ func (e *Embedding) canonicalOK(w Word, f int) bool {
 // number of candidate tests performed (the paper's extension cost, EC).
 // The embedding must be non-empty; depth-0 domains are handled by the
 // engine via InitialDomain/ValidInitial.
+//
+// The appended words are sorted ascending and duplicate-free — an API
+// guarantee (enumeration traces are deterministic and the differential
+// oracle compares outputs byte-for-byte), not an implementation accident.
+// Extensions is allocation-free in steady state: results go into dst,
+// candidates into epoch-stamped scratch retained by the embedding.
+//
+// The tested count for vertex- and edge-induced embeddings is the number of
+// distinct non-member candidates subjected to the canonicality check. For
+// pattern-induced embeddings it is the number of vertices that survive the
+// k-way intersection of the backward anchors' adjacency lists (the
+// candidates subjected to the member/label/symmetry checks); the seed
+// implementation instead counted every neighbor of the least-degree anchor,
+// so pattern EC values are not comparable across that rewrite.
 func (e *Embedding) Extensions(dst []Word) ([]Word, int) {
 	if e.custom != nil {
 		return e.custom.Extensions(e, dst)
@@ -338,31 +369,59 @@ func (e *Embedding) DefaultExtensions(dst []Word) ([]Word, int) {
 	}
 }
 
+// bumpGen starts a new stamp epoch. On the (rare) uint32 wraparound the
+// stamp arrays are cleared so stale entries from 2^32 calls ago cannot read
+// as current.
+func (e *Embedding) bumpGen() uint32 {
+	e.gen++
+	if e.gen == 0 {
+		for i := range e.stampV {
+			e.stampV[i] = 0
+		}
+		for i := range e.stampE {
+			e.stampE[i] = 0
+		}
+		e.gen = 1
+	}
+	return e.gen
+}
+
+func (e *Embedding) ensureVStamp() {
+	if len(e.stampV) < e.g.NumVertices() {
+		e.stampV = make([]uint32, e.g.NumVertices())
+		e.vfirst = make([]int32, e.g.NumVertices())
+	}
+}
+
+func (e *Embedding) ensureEStamp() {
+	if len(e.stampE) < e.g.NumEdges() {
+		e.stampE = make([]uint32, e.g.NumEdges())
+	}
+}
+
 func (e *Embedding) vertexExtensions(dst []Word) ([]Word, int) {
-	clear(e.candFirst)
+	e.ensureVStamp()
+	gen := e.bumpGen()
+	// Members are stamped first so the discovery scan below skips them
+	// without a membership test.
+	for _, m := range e.vertices {
+		e.stampV[m] = gen
+	}
 	e.candList = e.candList[:0]
+	e.candFirst = e.candFirst[:0]
 	for i, m := range e.vertices {
 		for _, u := range e.g.Neighbors(m) {
-			w := Word(u)
-			if _, ok := e.candFirst[w]; ok {
+			if e.stampV[u] == gen {
 				continue
 			}
-			if e.isMemberVertex(u) {
-				e.candFirst[w] = -1 // member sentinel
-				continue
-			}
-			e.candFirst[w] = i
-			e.candList = append(e.candList, w)
+			e.stampV[u] = gen
+			e.candList = append(e.candList, Word(u))
+			e.candFirst = append(e.candFirst, int32(i))
 		}
 	}
-	tested := 0
-	for _, w := range e.candList {
-		f := e.candFirst[w]
-		if f < 0 {
-			continue
-		}
-		tested++
-		if e.canonicalOK(w, f) {
+	tested := len(e.candList)
+	for i, w := range e.candList {
+		if e.canonicalOK(w, int(e.candFirst[i])) {
 			dst = append(dst, w)
 		}
 	}
@@ -380,31 +439,49 @@ func (e *Embedding) isMemberVertex(v graph.VertexID) bool {
 }
 
 func (e *Embedding) edgeExtensions(dst []Word) ([]Word, int) {
-	clear(e.candFirst)
+	e.ensureVStamp()
+	e.ensureEStamp()
+	gen := e.bumpGen()
+	// Stamp member edges, and record per endpoint the first member index
+	// covering it: the first member adjacent to a candidate edge x is then
+	// min(vfirst[x.Src], vfirst[x.Dst]) — O(1) instead of a member scan.
+	for i := 0; i < len(e.words); i++ {
+		id := graph.EdgeID(e.words[i])
+		e.stampE[id] = gen
+		ed := e.g.EdgeByID(id)
+		if e.stampV[ed.Src] != gen {
+			e.stampV[ed.Src] = gen
+			e.vfirst[ed.Src] = int32(i)
+		}
+		if e.stampV[ed.Dst] != gen {
+			e.stampV[ed.Dst] = gen
+			e.vfirst[ed.Dst] = int32(i)
+		}
+	}
 	e.candList = e.candList[:0]
+	e.candFirst = e.candFirst[:0]
 	// Candidates: edges incident to covered vertices.
 	for _, v := range e.cover {
 		for _, id := range e.g.IncidentEdges(v) {
-			x := Word(id)
-			if _, ok := e.candFirst[x]; ok {
+			if e.stampE[id] == gen {
 				continue
 			}
-			if e.isMemberEdge(graph.EdgeID(x)) {
-				e.candFirst[x] = -1
-				continue
+			e.stampE[id] = gen
+			x := e.g.EdgeByID(id)
+			f := int32(len(e.words))
+			if e.stampV[x.Src] == gen && e.vfirst[x.Src] < f {
+				f = e.vfirst[x.Src]
 			}
-			e.candFirst[x] = e.firstAdjacentMember(graph.EdgeID(x))
-			e.candList = append(e.candList, x)
+			if e.stampV[x.Dst] == gen && e.vfirst[x.Dst] < f {
+				f = e.vfirst[x.Dst]
+			}
+			e.candList = append(e.candList, Word(id))
+			e.candFirst = append(e.candFirst, f)
 		}
 	}
-	tested := 0
-	for _, x := range e.candList {
-		f := e.candFirst[x]
-		if f < 0 {
-			continue
-		}
-		tested++
-		if e.canonicalOK(x, f) {
+	tested := len(e.candList)
+	for i, x := range e.candList {
+		if e.canonicalOK(x, int(e.candFirst[i])) {
 			dst = append(dst, x)
 		}
 	}
@@ -412,83 +489,134 @@ func (e *Embedding) edgeExtensions(dst []Word) ([]Word, int) {
 	return dst, tested
 }
 
-func (e *Embedding) isMemberEdge(id graph.EdgeID) bool {
-	for _, m := range e.edges[:len(e.words)] {
-		if m == id {
-			return true
-		}
-	}
-	return false
-}
-
-// firstAdjacentMember returns the smallest member index i such that edge id
-// shares an endpoint with member edge i.
-func (e *Embedding) firstAdjacentMember(id graph.EdgeID) int {
-	x := e.g.EdgeByID(id)
-	for i := 0; i < len(e.words); i++ {
-		m := e.g.EdgeByID(graph.EdgeID(e.words[i]))
-		if m.Has(x.Src) || m.Has(x.Dst) {
-			return i
-		}
-	}
-	return len(e.words) // unreachable for true candidates
-}
-
+// patternExtensions computes the candidates of level k as a k-way
+// intersection of the backward anchors' adjacency lists, smallest anchor
+// first, with the per-anchor edge-label constraints fused into the merge.
+// Candidates emerge sorted and duplicate-free (parallel edges collapse as
+// duplicate runs inside the kernels), so no final sort is needed; the
+// member, vertex-label, and symmetry-breaking filters run over the
+// intersection's survivors, whose count is the reported extension cost.
 func (e *Embedding) patternExtensions(dst []Word) ([]Word, int) {
 	k := len(e.words)
 	if k >= len(e.plan.Order) {
 		return dst, 0
 	}
 	back := e.plan.Back[k]
-	want := e.plan.VLabels[k]
-	// Iterate neighbors of the lowest-degree backward anchor.
-	anchor := back[0]
-	for _, b := range back[1:] {
-		if e.g.Degree(e.vertices[b.Pos]) < e.g.Degree(e.vertices[anchor.Pos]) {
-			anchor = b
+	if len(back) == 0 {
+		return dst, 0
+	}
+	// Order anchors by ascending degree so the intersection starts from the
+	// smallest adjacency list and the working set shrinks fastest.
+	e.backOrder = append(e.backOrder[:0], back...)
+	ord := e.backOrder
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && e.g.Degree(e.vertices[ord[j].Pos]) < e.g.Degree(e.vertices[ord[j-1].Pos]); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
 		}
 	}
-	tested := 0
-	av := e.vertices[anchor.Pos]
-	for j, u := range e.g.Neighbors(av) {
-		tested++
+	cur := e.anchorCandidates(e.vertices[ord[0].Pos], ord[0].ELabel, e.pbuf0[:0])
+	buf := e.pbuf1
+	for _, b := range ord[1:] {
+		if len(cur) == 0 {
+			break
+		}
+		nxt := e.intersectAdj(cur, e.vertices[b.Pos], b.ELabel, buf[:0])
+		cur, buf = nxt, cur
+	}
+	e.pbuf0, e.pbuf1 = cur, buf // retain grown buffers for reuse
+	tested := len(cur)
+	want := e.plan.VLabels[k]
+	for _, w := range cur {
+		u := graph.VertexID(w)
 		if e.isMemberVertex(u) {
 			continue
 		}
-		// Anchor edge label.
-		if anchor.ELabel != pattern.NoLabel && e.g.EdgeLabel(e.g.IncidentEdges(av)[j]) != anchor.ELabel {
-			// Another parallel edge may match; fall back to full search.
-			if e.edgeMatching(u, av, anchor.ELabel) == graph.NilEdge {
-				continue
-			}
-		}
 		if want != pattern.NoLabel && !graph.ContainsLabel(e.g.VertexLabels(u), want) {
-			continue
-		}
-		ok := true
-		for _, b := range back {
-			if b == anchor {
-				continue
-			}
-			if e.edgeMatching(u, e.vertices[b.Pos], b.ELabel) == graph.NilEdge {
-				ok = false
-				break
-			}
-		}
-		if !ok {
 			continue
 		}
 		if !e.plan.CheckBinding(k, u, e.vertices) {
 			continue
 		}
-		w := Word(u)
-		if containsWord(dst, w) {
-			continue // parallel edges to the anchor would repeat u
-		}
 		dst = append(dst, w)
 	}
-	sortWords(dst)
 	return dst, tested
+}
+
+// anchorCandidates appends the distinct neighbors of av connected by an
+// edge whose label matches elabel (NoLabel = any) to dst. Adjacency runs
+// are sorted, so the result is sorted and duplicate-free.
+func (e *Embedding) anchorCandidates(av graph.VertexID, elabel graph.Label, dst []Word) []Word {
+	nbr := e.g.Neighbors(av)
+	inc := e.g.IncidentEdges(av)
+	for j := 0; j < len(nbr); {
+		u := nbr[j]
+		if e.runMatches(nbr, inc, j, elabel) {
+			dst = append(dst, Word(u))
+		}
+		for j < len(nbr) && nbr[j] == u {
+			j++
+		}
+	}
+	return dst
+}
+
+// intersectAdj intersects the sorted duplicate-free candidate list cands
+// with the adjacency of v, keeping candidates connected to v by an edge
+// whose label matches elabel, and appends survivors to dst. Parallel edges
+// appear as duplicate runs in the adjacency and count once. Galloping is
+// used when the adjacency dwarfs the candidate list (graph.GallopRatio).
+func (e *Embedding) intersectAdj(cands []Word, v graph.VertexID, elabel graph.Label, dst []Word) []Word {
+	nbr := e.g.Neighbors(v)
+	inc := e.g.IncidentEdges(v)
+	if len(nbr) >= graph.GallopRatio*len(cands) {
+		j := 0
+		for _, w := range cands {
+			u := graph.VertexID(w)
+			j += graph.Gallop(nbr[j:], u)
+			if j >= len(nbr) {
+				break
+			}
+			if nbr[j] == u && e.runMatches(nbr, inc, j, elabel) {
+				dst = append(dst, w)
+			}
+		}
+		return dst
+	}
+	i, j := 0, 0
+	for i < len(cands) && j < len(nbr) {
+		u := graph.VertexID(cands[i])
+		switch {
+		case nbr[j] < u:
+			j++
+		case nbr[j] > u:
+			i++
+		default:
+			if e.runMatches(nbr, inc, j, elabel) {
+				dst = append(dst, cands[i])
+			}
+			i++
+			for j < len(nbr) && nbr[j] == u {
+				j++
+			}
+		}
+	}
+	return dst
+}
+
+// runMatches reports whether the duplicate run of nbr starting at j (the
+// parallel edges to neighbor nbr[j]) contains an edge whose label matches
+// elabel; NoLabel matches any edge.
+func (e *Embedding) runMatches(nbr []graph.VertexID, inc []graph.EdgeID, j int, elabel graph.Label) bool {
+	if elabel == pattern.NoLabel {
+		return true
+	}
+	u := nbr[j]
+	for ; j < len(nbr) && nbr[j] == u; j++ {
+		if e.g.EdgeLabel(inc[j]) == elabel {
+			return true
+		}
+	}
+	return false
 }
 
 // Complete reports whether a pattern-induced embedding has bound every
@@ -523,13 +651,4 @@ func sortWords(ws []Word) {
 			ws[j], ws[j-1] = ws[j-1], ws[j]
 		}
 	}
-}
-
-func containsWord(ws []Word, w Word) bool {
-	for _, x := range ws {
-		if x == w {
-			return true
-		}
-	}
-	return false
 }

@@ -4,6 +4,12 @@
 # `check` target both call this script.
 set -eux
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...

@@ -1,4 +1,4 @@
-.PHONY: check test build vet bench bench-micro
+.PHONY: check test build vet bench bench-micro bench-agg fuzz-agg
 
 check:
 	./scripts/check.sh
@@ -19,3 +19,14 @@ bench:
 bench-micro:
 	go test -run=NONE -bench='Extensions|Enumerate|Intersect' -benchmem \
 		./internal/subgraph/ ./internal/graph/
+
+# Aggregation-pipeline microbenchmarks: allocation-free domain supports and
+# the binary wire codec against the retained seed oracle (EXPERIMENTS.md).
+bench-agg:
+	go test -run=NONE -bench='DomainSupport|AggEncode' -benchmem \
+		./internal/agg/
+
+# Short fuzz of the aggregation wire codec (decoders must fail cleanly on
+# arbitrary bytes).
+fuzz-agg:
+	go test -run=NONE -fuzz=FuzzBinaryCodec -fuzztime=10s ./internal/agg/

@@ -280,13 +280,26 @@ func (c *Context) PatternCanon(p *Pattern) pattern.Canon {
 	return c.cache.Canonical(p)
 }
 
+// PatternRep returns the shared canonical representative of e's pattern
+// class: every embedding of the same isomorphism class yields the identical
+// *Pattern (relabeled to canonical vertex order), which makes "first pattern
+// wins" reductions independent of embedding arrival and merge order.
+// Aggregation value functions should carry this pattern rather than the
+// embedding's own numbering.
+func (c *Context) PatternRep(e *Subgraph) *Pattern {
+	return c.cache.Representative(e.Pattern())
+}
+
 // MNISupport builds the minimum image-based support contribution of a
 // single embedding, aligned by canonical position (the value function of
-// the paper's FSM listing).
+// the paper's FSM listing). The contribution is built on pooled per-core
+// scratch storage and carries the class's shared representative pattern; it
+// is meant to flow directly into an aggregation (Aggregate's value
+// function), whose first store clones it and whose reduction reclaims it —
+// the FSM hot loop allocates nothing per embedding.
 func (c *Context) MNISupport(e *Subgraph, threshold int64) *DomainSupport {
-	p := e.Pattern()
-	canon := c.cache.Canonical(p)
-	return agg.NewDomainSupport(p, threshold, e.Vertices(), canon.Perm)
+	canon, rep := c.cache.CanonicalRep(e.Pattern())
+	return agg.ScratchDomainSupport(rep, threshold, e.Vertices(), canon.Perm)
 }
 
 // CliqueFilter is the local clique check of Listing 2: the number of edges

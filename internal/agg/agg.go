@@ -39,11 +39,21 @@ type Aggregation[K comparable, V any] struct {
 	m      map[K]V
 	reduce func(V, V) V
 	filter func(K, V) bool // optional aggFilter
+	// own converts a value into a storable one before its first store;
+	// non-nil only for value types with borrowed (pooled) contributions,
+	// today *DomainSupport. Values folded into an existing entry are owned
+	// by the reduction itself.
+	own func(V) V
 }
 
 // New returns an empty aggregation with the given reduction function.
 func New[K comparable, V any](reduce func(V, V) V) *Aggregation[K, V] {
-	return &Aggregation[K, V]{m: map[K]V{}, reduce: reduce}
+	a := &Aggregation[K, V]{m: map[K]V{}, reduce: reduce}
+	var zero V
+	if _, ok := any(zero).(*DomainSupport); ok {
+		a.own = func(v V) V { return any(any(v).(*DomainSupport).owned()).(V) }
+	}
+	return a
 }
 
 // WithFilter sets the aggFilter applied after the final global merge and
@@ -53,11 +63,16 @@ func (a *Aggregation[K, V]) WithFilter(keep func(K, V) bool) *Aggregation[K, V] 
 	return a
 }
 
-// Add folds value v into key k.
+// Add folds value v into key k. v may be a borrowed (scratch) contribution:
+// the first store of a key clones it into owned storage, and the reduction
+// reclaims it otherwise.
 func (a *Aggregation[K, V]) Add(k K, v V) {
 	if old, ok := a.m[k]; ok {
 		a.m[k] = a.reduce(old, v)
 	} else {
+		if a.own != nil {
+			v = a.own(v)
+		}
 		a.m[k] = v
 	}
 }
@@ -108,30 +123,54 @@ func (a *Aggregation[K, V]) MergeFrom(other Store) error {
 	return nil
 }
 
-// Encode implements Store using gob; K and V must be gob-encodable.
+// Encode implements Store. Built-in key/value shapes (see BinaryStore) emit
+// the compact binary wire form; everything else falls back to gob, for which
+// K and V must be gob-encodable. Both payloads carry a one-byte tag so
+// DecodeAndMerge is self-describing.
 func (a *Aggregation[K, V]) Encode() ([]byte, error) {
+	if data, ok, err := a.encodeBinary(); ok {
+		if err != nil {
+			return nil, err
+		}
+		return data, nil
+	}
 	var buf bytes.Buffer
+	buf.WriteByte(wireGob)
 	if err := gob.NewEncoder(&buf).Encode(a.m); err != nil {
-		return nil, fmt.Errorf("agg: encode: %w", err)
+		return nil, fmt.Errorf("agg: encoding %T: %w (key and value types must be gob-encodable; values with interface-typed fields need gob.Register)", a.m, err)
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeAndMerge implements Store.
+// DecodeAndMerge implements Store, accepting either wire form.
 func (a *Aggregation[K, V]) DecodeAndMerge(data []byte) error {
-	var m map[K]V
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
-		return fmt.Errorf("agg: decode: %w", err)
+	if len(data) == 0 {
+		return fmt.Errorf("agg: decoding into %T: empty payload", a.m)
 	}
-	for k, v := range m {
-		a.Add(k, v)
+	tag, payload := data[0], data[1:]
+	switch tag {
+	case wireBinary:
+		if err := a.decodeBinary(payload); err != nil {
+			return fmt.Errorf("agg: decoding binary payload into %T: %w", a.m, err)
+		}
+		return nil
+	case wireGob:
+		var m map[K]V
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+			return fmt.Errorf("agg: decoding into %T: %w (key and value types must be gob-encodable; values with interface-typed fields need gob.Register)", a.m, err)
+		}
+		for k, v := range m {
+			a.Add(k, v)
+		}
+		return nil
+	default:
+		return fmt.Errorf("agg: decoding into %T: unknown wire tag %d", a.m, tag)
 	}
-	return nil
 }
 
 // NewEmpty implements Store.
 func (a *Aggregation[K, V]) NewEmpty() Store {
-	return &Aggregation[K, V]{m: map[K]V{}, reduce: a.reduce, filter: a.filter}
+	return &Aggregation[K, V]{m: map[K]V{}, reduce: a.reduce, filter: a.filter, own: a.own}
 }
 
 // ApplyFilter implements Store.

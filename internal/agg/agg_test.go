@@ -1,6 +1,7 @@
 package agg
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -186,11 +187,38 @@ func TestDomainSupportNilHandling(t *testing.T) {
 	if got := ds.Aggregate(nil); got != ds {
 		t.Error("x.Aggregate(nil) != x")
 	}
-	// Arity mismatch is a defensive no-op.
-	p3 := pattern.Triangle()
+}
+
+func TestDomainSupportArityMismatchFaults(t *testing.T) {
+	p2, p3 := pattern.Path(2), pattern.Triangle()
+	ds := NewDomainSupport(p2, 1, []graph.VertexID{0, 1}, p2.Canonical().Perm)
 	ds3 := NewDomainSupport(p3, 1, []graph.VertexID{0, 1, 2}, p3.Canonical().Perm)
-	if got := ds.Aggregate(ds3); got.Support() != 1 {
-		t.Error("arity-mismatched aggregate mutated state")
+
+	got := ds.Aggregate(ds3)
+	var arityErr *DomainArityError
+	if !errors.As(got.Err(), &arityErr) {
+		t.Fatalf("Err()=%v, want *DomainArityError", got.Err())
+	}
+	if arityErr.Want != 2 || arityErr.Got != 3 {
+		t.Errorf("fault = %+v, want Want=2 Got=3", arityErr)
+	}
+	if got.Support() != 1 {
+		t.Errorf("mismatched merge mutated domains: support=%d", got.Support())
+	}
+
+	// The fault is sticky across further (well-formed) merges and fails both
+	// wire paths, so a miswired aggregation cannot ship silently.
+	got = got.Aggregate(NewDomainSupport(p2, 1, []graph.VertexID{4, 5}, p2.Canonical().Perm))
+	if !errors.As(got.Err(), &arityErr) {
+		t.Fatalf("fault not sticky: Err()=%v", got.Err())
+	}
+	a := New[string, *DomainSupport](ReduceDomainSupport)
+	a.Add("k", got)
+	if _, err := a.Encode(); !errors.As(err, &arityErr) {
+		t.Errorf("Encode of faulted store = %v, want *DomainArityError", err)
+	}
+	if _, err := got.GobEncode(); !errors.As(err, &arityErr) {
+		t.Errorf("GobEncode of faulted support = %v, want *DomainArityError", err)
 	}
 }
 

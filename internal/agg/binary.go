@@ -1,0 +1,292 @@
+// The compact aggregation wire codec. Every Aggregation.Encode payload is
+// tagged with one leading byte: wireGob marks a reflection-driven gob stream
+// (the fallback for arbitrary user key/value types), wireBinary a
+// length-prefixed varint form emitted for the built-in shapes — pattern
+// canonical codes mapped to int64 counts, PatternCount, and *DomainSupport.
+// The binary form cuts both the bytes shipped between workers and the CPU
+// burned encoding them: gob re-sends type descriptors and walks values by
+// reflection, while these entries are tight varint runs (domain supports
+// additionally delta-encode their sorted vertex sets). Entries are written
+// in ascending key order, so equal maps encode to identical bytes — the
+// property the merge-order-independence tests pin.
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+	"sort"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+const (
+	wireGob    byte = 0 // gob-encoded map[K]V payload
+	wireBinary byte = 1 // sorted, length-prefixed varint entries
+)
+
+// BinaryStore is the subset of stores whose contents ship in the compact
+// binary wire form instead of gob. All stores decode both forms (payloads
+// are tagged), so the fast path is transparent to the runtime; it exists as
+// an interface so tools and tests can assert which path a store takes.
+type BinaryStore interface {
+	Store
+	// BinaryCodec reports whether Encode emits the binary form.
+	BinaryCodec() bool
+}
+
+// BinaryCodec implements BinaryStore: true when K/V is one of the built-in
+// wire shapes.
+func (a *Aggregation[K, V]) BinaryCodec() bool {
+	switch any(a.m).(type) {
+	case map[string]int64, map[string]PatternCount, map[string]*DomainSupport:
+		return true
+	}
+	return false
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// appendDomainSupport writes one support value: threshold, optional pattern,
+// then each position's sorted domain as a first-value + deltas varint run.
+func appendDomainSupport(dst []byte, ds *DomainSupport) ([]byte, error) {
+	if err := ds.Err(); err != nil {
+		return nil, err
+	}
+	ds.compact()
+	dst = binary.AppendVarint(dst, ds.Threshold)
+	if ds.Pat != nil {
+		dst = append(dst, 1)
+		dst = ds.Pat.AppendBinary(dst)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(ds.Domains)))
+	for _, d := range ds.Domains {
+		dst = binary.AppendUvarint(dst, uint64(len(d)))
+		prev := graph.VertexID(0)
+		for _, v := range d {
+			dst = binary.AppendUvarint(dst, uint64(v-prev))
+			prev = v
+		}
+	}
+	return dst, nil
+}
+
+// binaryReader walks a binary payload, remembering the first failure so call
+// sites stay linear.
+type binaryReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *binaryReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *binaryReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("agg: binary payload truncated at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binaryReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail("agg: binary payload truncated at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *binaryReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail("agg: binary string length %d exceeds payload", n)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *binaryReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail("agg: binary payload truncated at offset %d", r.off)
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *binaryReader) pattern() *pattern.Pattern {
+	if r.err != nil {
+		return nil
+	}
+	p, n, err := pattern.PatternFromBinary(r.data[r.off:])
+	if err != nil {
+		r.fail("agg: %v", err)
+		return nil
+	}
+	r.off += n
+	return p
+}
+
+func (r *binaryReader) domainSupport() *DomainSupport {
+	ds := &DomainSupport{Threshold: r.varint()}
+	if r.byte() == 1 {
+		ds.Pat = r.pattern()
+	}
+	npos := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if npos > uint64(len(r.data)-r.off)+1 {
+		r.fail("agg: binary domain count %d exceeds payload", npos)
+		return nil
+	}
+	ds.Domains = make([][]graph.VertexID, npos)
+	for i := range ds.Domains {
+		n := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if n > uint64(len(r.data)-r.off)+1 {
+			r.fail("agg: binary domain length %d exceeds payload", n)
+			return nil
+		}
+		d := make([]graph.VertexID, 0, n)
+		prev := uint64(0)
+		for j := uint64(0); j < n; j++ {
+			prev += r.uvarint()
+			if prev > uint64(1<<31-1) {
+				r.fail("agg: binary vertex id %d out of range", prev)
+				return nil
+			}
+			d = append(d, graph.VertexID(prev))
+		}
+		// Delta decoding yields ascending values by construction; dedup
+		// defensively (zero deltas) so the sorted-distinct invariant holds
+		// for any byte stream.
+		ds.Domains[i] = slices.Compact(d)
+	}
+	if r.err != nil {
+		return nil
+	}
+	return ds
+}
+
+// encodeBinary emits the binary payload for the built-in shapes; ok is
+// false when K/V has no binary form and the caller must fall back to gob.
+func (a *Aggregation[K, V]) encodeBinary() (data []byte, ok bool, err error) {
+	switch m := any(a.m).(type) {
+	case map[string]int64:
+		dst := binary.AppendUvarint([]byte{wireBinary}, uint64(len(m)))
+		for _, k := range sortedKeys(m) {
+			dst = appendString(dst, k)
+			dst = binary.AppendVarint(dst, m[k])
+		}
+		return dst, true, nil
+	case map[string]PatternCount:
+		dst := binary.AppendUvarint([]byte{wireBinary}, uint64(len(m)))
+		for _, k := range sortedKeys(m) {
+			pc := m[k]
+			dst = appendString(dst, k)
+			if pc.Pat != nil {
+				dst = append(dst, 1)
+				dst = pc.Pat.AppendBinary(dst)
+			} else {
+				dst = append(dst, 0)
+			}
+			dst = binary.AppendVarint(dst, pc.Count)
+		}
+		return dst, true, nil
+	case map[string]*DomainSupport:
+		dst := binary.AppendUvarint([]byte{wireBinary}, uint64(len(m)))
+		for _, k := range sortedKeys(m) {
+			dst = appendString(dst, k)
+			if dst, err = appendDomainSupport(dst, m[k]); err != nil {
+				return nil, true, fmt.Errorf("agg: encoding support %q: %w", k, err)
+			}
+		}
+		return dst, true, nil
+	}
+	return nil, false, nil
+}
+
+// decodeBinary folds a binary payload (sans tag byte) into the aggregation.
+func (a *Aggregation[K, V]) decodeBinary(payload []byte) error {
+	r := &binaryReader{data: payload}
+	n := r.uvarint()
+	add := func(k string, v any) {
+		// The payload's dynamic shape must match this aggregation's: the
+		// runtime only decodes into stores of the producing spec's type.
+		av, ok := any(v).(V)
+		if !ok {
+			r.fail("agg: binary entry type %T does not match %T values", v, a.m)
+			return
+		}
+		ak, ok := any(k).(K)
+		if !ok {
+			r.fail("agg: binary string key does not match %T keys", a.m)
+			return
+		}
+		a.Add(ak, av)
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k := r.string()
+		switch any(a.m).(type) {
+		case map[string]int64:
+			add(k, r.varint())
+		case map[string]PatternCount:
+			pc := PatternCount{}
+			if r.byte() == 1 {
+				pc.Pat = r.pattern()
+			}
+			pc.Count = r.varint()
+			add(k, pc)
+		case map[string]*DomainSupport:
+			if ds := r.domainSupport(); ds != nil {
+				add(k, ds)
+			}
+		default:
+			r.fail("agg: binary payload for %T, which has no binary form", a.m)
+		}
+	}
+	return r.err
+}

@@ -1,0 +1,277 @@
+package agg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+func TestBinaryCodecSelection(t *testing.T) {
+	cases := []struct {
+		name   string
+		store  Store
+		binary bool
+	}{
+		{"string-int64", New[string, int64](SumInt64), true},
+		{"pattern-count", New[string, PatternCount](ReducePatternCount), true},
+		{"domain-support", New[string, *DomainSupport](ReduceDomainSupport), true},
+		{"int64-keys", New[int64, int64](SumInt64), false},
+		{"string-float", New[string, float64](func(a, b float64) float64 { return a + b }), false},
+	}
+	for _, tc := range cases {
+		bs, ok := tc.store.(BinaryStore)
+		if !ok {
+			t.Fatalf("%s: store does not implement BinaryStore", tc.name)
+		}
+		if bs.BinaryCodec() != tc.binary {
+			t.Errorf("%s: BinaryCodec()=%v, want %v", tc.name, bs.BinaryCodec(), tc.binary)
+		}
+		data, err := tc.store.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		wantTag := wireGob
+		if tc.binary {
+			wantTag = wireBinary
+		}
+		if data[0] != wantTag {
+			t.Errorf("%s: wire tag %d, want %d", tc.name, data[0], wantTag)
+		}
+	}
+}
+
+func TestBinaryRoundTripPatternCount(t *testing.T) {
+	p := pattern.Triangle()
+	a := New[string, PatternCount](ReducePatternCount)
+	a.Add("tri", PatternCount{Pat: p, Count: 42})
+	a.Add("anon", PatternCount{Count: -7}) // nil pattern must survive
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.NewEmpty().(*Aggregation[string, PatternCount])
+	if err := b.DecodeAndMerge(data); err != nil {
+		t.Fatal(err)
+	}
+	tri, _ := b.Get("tri")
+	if tri.Count != 42 || tri.Pat == nil || tri.Pat.NumEdges() != 3 || tri.Pat.NumVertices() != 3 {
+		t.Errorf("tri round trip = %+v", tri)
+	}
+	anon, _ := b.Get("anon")
+	if anon.Count != -7 || anon.Pat != nil {
+		t.Errorf("anon round trip = %+v", anon)
+	}
+}
+
+func TestBinaryRoundTripDomainSupport(t *testing.T) {
+	p := pattern.Triangle()
+	perm := p.Canonical().Perm
+	a := New[string, *DomainSupport](ReduceDomainSupport)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		vs := []graph.VertexID{
+			graph.VertexID(rng.Intn(1000)),
+			graph.VertexID(1000 + rng.Intn(1000)),
+			graph.VertexID(2000 + rng.Intn(1000)),
+		}
+		a.Add("tri", ScratchDomainSupport(p, 5, vs, perm))
+	}
+	ds := &DomainSupport{Threshold: 1, Domains: [][]graph.VertexID{{7, 9}}} // no pattern
+	a.Add("anon", ds)
+
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.NewEmpty().(*Aggregation[string, *DomainSupport])
+	if err := b.DecodeAndMerge(data); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := a.Get("tri")
+	got, _ := b.Get("tri")
+	if got.Threshold != 5 || got.Pat == nil || got.Support() != want.Support() {
+		t.Errorf("tri round trip: threshold=%d pat=%v support=%d want %d",
+			got.Threshold, got.Pat, got.Support(), want.Support())
+	}
+	for pos := range want.Domains {
+		if !bytes.Equal(vertexBytes(want.Sorted(pos)), vertexBytes(got.Sorted(pos))) {
+			t.Errorf("position %d domains differ: %v vs %v", pos, want.Sorted(pos), got.Sorted(pos))
+		}
+	}
+	gotAnon, _ := b.Get("anon")
+	if gotAnon.Pat != nil || gotAnon.Support() != 2 {
+		t.Errorf("anon round trip = %+v", gotAnon)
+	}
+
+	// Re-encoding the decoded store must reproduce the payload byte for byte
+	// (sorted keys + compacted domains make the form canonical).
+	data2, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("binary form is not canonical across a round trip")
+	}
+}
+
+func vertexBytes(vs []graph.VertexID) []byte {
+	out := make([]byte, 0, 4*len(vs))
+	for _, v := range vs {
+		out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return out
+}
+
+// TestBinarySmallerThanGob is the wire-size acceptance pin: on realistic
+// store contents the binary payload must be strictly smaller than the gob
+// fallback for the same map.
+func TestBinarySmallerThanGob(t *testing.T) {
+	gobBytes := func(m any) int {
+		var buf bytes.Buffer
+		buf.WriteByte(wireGob)
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+
+	p := pattern.Triangle()
+	perm := p.Canonical().Perm
+	rng := rand.New(rand.NewSource(17))
+
+	counts := New[string, int64](SumInt64)
+	for i := 0; i < 200; i++ {
+		counts.Add(fmt.Sprintf("pattern-code-%04d", i), int64(rng.Intn(1_000_000)))
+	}
+	supports := New[string, *DomainSupport](ReduceDomainSupport)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("class-%02d", i)
+		for j := 0; j < 50; j++ {
+			vs := []graph.VertexID{
+				graph.VertexID(rng.Intn(4096)),
+				graph.VertexID(4096 + rng.Intn(4096)),
+				graph.VertexID(8192 + rng.Intn(4096)),
+			}
+			supports.Add(key, ScratchDomainSupport(p, 10, vs, perm))
+		}
+	}
+
+	for name, pair := range map[string]struct {
+		store Store
+		gob   int
+	}{
+		"int64-counts":    {counts, gobBytes(counts.Entries())},
+		"domain-supports": {supports, gobBytes(supports.Entries())},
+	} {
+		data, err := pair.store.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) >= pair.gob {
+			t.Errorf("%s: binary %d bytes >= gob %d bytes", name, len(data), pair.gob)
+		} else {
+			t.Logf("%s: binary %d bytes vs gob %d bytes (%.1fx smaller)",
+				name, len(data), pair.gob, float64(pair.gob)/float64(len(data)))
+		}
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	a := New[string, int64](SumInt64)
+	a.Add("key", 600)
+	valid, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"unknown tag":  {9, 1, 2, 3},
+		"truncated":    valid[:len(valid)-1],
+		"length bomb":  {wireBinary, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"string bomb":  {wireBinary, 1, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"bare payload": {wireBinary},
+	}
+	for name, data := range cases {
+		b := a.NewEmpty()
+		if err := b.DecodeAndMerge(data); err == nil {
+			t.Errorf("%s: decode succeeded", name)
+		}
+	}
+
+	// A binary payload arriving at a store with no binary form is rejected,
+	// not misparsed.
+	c := New[int64, int64](SumInt64)
+	if err := c.DecodeAndMerge(valid); err == nil ||
+		!strings.Contains(err.Error(), "no binary form") {
+		t.Errorf("shape mismatch error = %v", err)
+	}
+}
+
+// TestGobFallbackErrorNamesTypes pins the wrapped gob diagnostics: encode
+// and decode failures must name the concrete map type so a miswired user
+// aggregation is attributable from the step error alone.
+func TestGobFallbackErrorNamesTypes(t *testing.T) {
+	type opaque struct{ C chan int } // channels are not gob-encodable
+	a := New[string, opaque](func(x, y opaque) opaque { return x })
+	a.Add("k", opaque{})
+	_, err := a.Encode()
+	if err == nil {
+		t.Fatal("encoding a chan-typed value succeeded")
+	}
+	for _, want := range []string{"agg.opaque", "gob-encodable"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("encode error %q does not mention %q", err, want)
+		}
+	}
+
+	b := New[string, float64](func(x, y float64) float64 { return x + y })
+	err = b.DecodeAndMerge([]byte{wireGob, 0xde, 0xad})
+	if err == nil || !strings.Contains(err.Error(), "map[string]float64") {
+		t.Errorf("decode error %v does not name the store type", err)
+	}
+}
+
+// FuzzBinaryCodec drives arbitrary bytes through DecodeAndMerge for every
+// built-in shape (decoders must fail cleanly, never panic or overallocate)
+// and checks that whatever decodes re-encodes without error.
+func FuzzBinaryCodec(f *testing.F) {
+	p := pattern.Triangle()
+	perm := p.Canonical().Perm
+	counts := New[string, int64](SumInt64)
+	counts.Add("abc", 123)
+	counts.Add("def", -9)
+	pcs := New[string, PatternCount](ReducePatternCount)
+	pcs.Add("tri", PatternCount{Pat: p, Count: 7})
+	sups := New[string, *DomainSupport](ReduceDomainSupport)
+	sups.Add("tri", NewDomainSupport(p, 2, []graph.VertexID{5, 1, 9}, perm))
+	for _, s := range []Store{counts, pcs, sups} {
+		data, err := s.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{wireBinary, 2, 1, 'a', 1, 1, 'b', 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		stores := []Store{
+			New[string, int64](SumInt64),
+			New[string, PatternCount](ReducePatternCount),
+			New[string, *DomainSupport](ReduceDomainSupport),
+		}
+		for _, s := range stores {
+			if err := s.DecodeAndMerge(data); err != nil {
+				continue
+			}
+			if _, err := s.Encode(); err != nil {
+				t.Errorf("decoded store fails to re-encode: %v", err)
+			}
+		}
+	})
+}

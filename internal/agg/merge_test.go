@@ -1,0 +1,212 @@
+package agg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+)
+
+func TestMergeTreeSums(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 33} {
+		stores := make([]Store, n)
+		want := int64(0)
+		for i := range stores {
+			a := New[string, int64](SumInt64)
+			a.Add("k", int64(i+1))
+			a.Add(fmt.Sprintf("only-%d", i), 1)
+			want += int64(i + 1)
+			stores[i] = a
+		}
+		merged, err := MergeTree(stores, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		a := merged.(*Aggregation[string, int64])
+		if v, _ := a.Get("k"); v != want {
+			t.Errorf("n=%d: sum=%d, want %d", n, v, want)
+		}
+		if a.Len() != n+1 {
+			t.Errorf("n=%d: merged has %d keys, want %d", n, a.Len(), n+1)
+		}
+	}
+}
+
+func TestMergeTreeNilHandling(t *testing.T) {
+	if s, err := MergeTree(nil, nil); s != nil || err != nil {
+		t.Errorf("MergeTree(nil)=%v,%v", s, err)
+	}
+	if s, err := MergeTree([]Store{nil, nil}, nil); s != nil || err != nil {
+		t.Errorf("MergeTree(all nil)=%v,%v", s, err)
+	}
+	a := New[string, int64](SumInt64)
+	a.Add("k", 3)
+	s, err := MergeTree([]Store{nil, a, nil}, nil)
+	if err != nil || s != Store(a) {
+		t.Errorf("single live store not returned as-is: %v, %v", s, err)
+	}
+}
+
+func TestMergeTreeCancellation(t *testing.T) {
+	mk := func(n int) []Store {
+		stores := make([]Store, n)
+		for i := range stores {
+			a := New[string, int64](SumInt64)
+			a.Add("k", 1)
+			stores[i] = a
+		}
+		return stores
+	}
+	// Stop before the first level.
+	if _, err := MergeTree(mk(4), func() bool { return true }); !errors.Is(err, ErrMergeCancelled) {
+		t.Errorf("immediate stop: err=%v, want ErrMergeCancelled", err)
+	}
+	// Stop mid-merge: the predicate flips after the first level, so the fold
+	// abandons the remaining levels.
+	calls := 0
+	stop := func() bool { calls++; return calls > 1 }
+	if _, err := MergeTree(mk(8), stop); !errors.Is(err, ErrMergeCancelled) {
+		t.Errorf("mid-merge stop: err=%v, want ErrMergeCancelled", err)
+	}
+	if calls < 2 {
+		t.Errorf("stop polled %d times, want at least one completed level", calls)
+	}
+	// Never stopping completes.
+	merged, err := MergeTree(mk(8), func() bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := merged.(*Aggregation[string, int64]).Get("k"); v != 8 {
+		t.Errorf("uncancelled merge lost contributions: k=%d, want 8", v)
+	}
+}
+
+func TestMergeTreeTypeMismatch(t *testing.T) {
+	a := New[string, int64](SumInt64)
+	b := New[int64, int64](SumInt64)
+	a.Add("k", 1)
+	b.Add(2, 2)
+	if _, err := MergeTree([]Store{a, b}, nil); err == nil {
+		t.Error("cross-type tree merge succeeded")
+	}
+}
+
+// mergeShape folds stores into one with a random binary tree shape,
+// optionally pushing the right operand of every internal node through an
+// encode/decode round trip first — the worker/master wire hop at an
+// arbitrary point of the reduction tree.
+func mergeShape(t *testing.T, rng *rand.Rand, stores []Store, roundTrip bool) Store {
+	t.Helper()
+	if len(stores) == 1 {
+		return stores[0]
+	}
+	k := 1 + rng.Intn(len(stores)-1)
+	left := mergeShape(t, rng, stores[:k], roundTrip)
+	right := mergeShape(t, rng, stores[k:], roundTrip)
+	if roundTrip && rng.Intn(2) == 0 {
+		data, err := right.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := right.NewEmpty()
+		if err := dec.DecodeAndMerge(data); err != nil {
+			t.Fatal(err)
+		}
+		right = dec
+	}
+	if err := left.MergeFrom(right); err != nil {
+		t.Fatal(err)
+	}
+	return left
+}
+
+// TestMergeOrderIndependence pins the property the parallel reduction relies
+// on: for the built-in aggregation shapes, folding the same partials in any
+// permutation, any tree shape, and with wire round trips interposed at any
+// point yields byte-identical Encode payloads (the binary codec writes
+// entries in ascending key order, so byte equality is map equality).
+func TestMergeOrderIndependence(t *testing.T) {
+	p := pattern.Triangle()
+	perm := p.Canonical().Perm
+
+	cases := []struct {
+		name string
+		mk   func() []Store
+	}{
+		{"int64-sums", func() []Store {
+			out := make([]Store, 9)
+			rng := rand.New(rand.NewSource(11))
+			for i := range out {
+				a := New[string, int64](SumInt64)
+				for j := 0; j < 12; j++ {
+					a.Add(fmt.Sprintf("key-%d", rng.Intn(8)), int64(rng.Intn(100)))
+				}
+				out[i] = a
+			}
+			return out
+		}},
+		{"pattern-counts", func() []Store {
+			// Every partial carries the same representative pattern per key
+			// (what Context.PatternRep guarantees), so "first pattern wins"
+			// picks identical content regardless of order.
+			out := make([]Store, 9)
+			rng := rand.New(rand.NewSource(12))
+			for i := range out {
+				a := New[string, PatternCount](ReducePatternCount)
+				for j := 0; j < 12; j++ {
+					a.Add(fmt.Sprintf("key-%d", rng.Intn(5)), PatternCount{Pat: p, Count: int64(rng.Intn(50))})
+				}
+				out[i] = a
+			}
+			return out
+		}},
+		{"domain-supports", func() []Store {
+			out := make([]Store, 9)
+			rng := rand.New(rand.NewSource(13))
+			for i := range out {
+				a := New[string, *DomainSupport](ReduceDomainSupport)
+				for j := 0; j < 25; j++ {
+					vs := []graph.VertexID{
+						graph.VertexID(rng.Intn(64)),
+						graph.VertexID(64 + rng.Intn(64)),
+						graph.VertexID(128 + rng.Intn(64)),
+					}
+					a.Add(fmt.Sprintf("key-%d", rng.Intn(5)), ScratchDomainSupport(p, 3, vs, perm))
+				}
+				out[i] = a
+			}
+			return out
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := MergeTree(tc.mk(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 20; trial++ {
+				stores := tc.mk()
+				rng.Shuffle(len(stores), func(i, j int) { stores[i], stores[j] = stores[j], stores[i] })
+				merged := mergeShape(t, rng, stores, trial%2 == 1)
+				got, err := merged.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("trial %d: merge shape changed encoded bytes (%d vs %d bytes)",
+						trial, len(got), len(want))
+				}
+			}
+		})
+	}
+}

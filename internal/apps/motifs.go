@@ -33,7 +33,9 @@ func Motifs(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal
 	frac := fractal.Aggregate(g.VFractoid().Expand(k), "motifs",
 		func(e *fractal.Subgraph) string { return fc.PatternOf(e).Code },
 		func(e *fractal.Subgraph) agg.PatternCount {
-			return agg.PatternCount{Pat: e.Pattern(), Count: 1}
+			// The shared class representative makes the "first pattern wins"
+			// reduction independent of embedding arrival and merge order.
+			return agg.PatternCount{Pat: fc.PatternRep(e), Count: 1}
 		},
 		agg.ReducePatternCount, nil)
 	m, res, err := fractal.AggregationMap[string, agg.PatternCount](frac, "motifs")

@@ -143,6 +143,42 @@ func IntersectMulti[T ~int32](lists [][]T, dst, scratch []T) (out, scratch2 []T)
 	return out, scratch
 }
 
+// UnionSorted appends the distinct values present in a or b (or both) to dst
+// and returns the extended slice. Like the other kernels it tolerates
+// duplicates within each input and emits every distinct value exactly once,
+// ascending. The aggregation layer runs this in its merge hot loop (domain
+// supports are unions of sorted vertex sets), so the same buffer-ownership
+// contract applies: dst must not alias either input.
+func UnionSorted[T ~int32](a, b, dst []T) []T {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		var v T
+		switch {
+		case x < y:
+			v = x
+		case x > y:
+			v = y
+		default:
+			v = x
+		}
+		dst = append(dst, v)
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+	}
+	if i < len(a) {
+		dst = dedupSorted(a[i:], dst)
+	}
+	if j < len(b) {
+		dst = dedupSorted(b[j:], dst)
+	}
+	return dst
+}
+
 // DiffSorted appends the distinct values of a that are absent from b to dst
 // and returns the extended slice.
 func DiffSorted[T ~int32](a, b, dst []T) []T {

@@ -114,6 +114,55 @@ func TestDiffSortedAgainstNaive(t *testing.T) {
 	}
 }
 
+// naiveUnion is the quadratic reference: distinct values of either input,
+// ascending.
+func naiveUnion(a, b []int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, x := range a {
+		seen[x] = true
+	}
+	for _, x := range b {
+		seen[x] = true
+	}
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestUnionSortedAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 1000; iter++ {
+		// Duplicate-heavy inputs: union must dedup within as well as across.
+		a := sortedRandom(rng, rng.Intn(40), 25)
+		b := sortedRandom(rng, rng.Intn(400), 25)
+		got := UnionSorted(a, b, nil)
+		want := naiveUnion(a, b)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !equalInt32(got, want) {
+			t.Fatalf("UnionSorted(%v, %v) = %v, want %v", a, b, got, want)
+		}
+		if rev := UnionSorted(b, a, nil); !equalInt32(rev, got) {
+			t.Fatalf("UnionSorted not symmetric: %v vs %v", rev, got)
+		}
+	}
+}
+
+func TestUnionSortedAppendsToDst(t *testing.T) {
+	dst := []int32{-7}
+	got := UnionSorted([]int32{1, 3}, []int32{2, 3, 4}, dst)
+	if !equalInt32(got, []int32{-7, 1, 2, 3, 4}) {
+		t.Fatalf("got %v, want [-7 1 2 3 4]", got)
+	}
+	if one := UnionSorted([]int32{5, 5, 6}, nil, nil); !equalInt32(one, []int32{5, 6}) {
+		t.Fatalf("one-sided union = %v, want [5 6]", one)
+	}
+}
+
 func TestIntersectMulti(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	for iter := 0; iter < 500; iter++ {

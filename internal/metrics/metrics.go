@@ -38,6 +38,9 @@ type Collector struct {
 	peakStateBytes atomic.Int64
 	abandonedExts  atomic.Int64
 
+	aggMergeNs      atomic.Int64
+	aggShippedBytes atomic.Int64
+
 	coreWork []atomic.Int64
 }
 
@@ -90,6 +93,24 @@ func (c *Collector) AddAbandonedExts(n int64) { c.abandonedExts.Add(n) }
 
 // AbandonedExts returns the number of extensions discarded by cancellation.
 func (c *Collector) AbandonedExts() int64 { return c.abandonedExts.Load() }
+
+// AddAggMergeTime records wall time spent reducing aggregation partials
+// outside the enumeration loop: a worker's per-core tree merge plus encode,
+// and the master's decode plus per-worker tree merge. Together with
+// AggShippedBytes it shows where aggregation-heavy workloads (FSM) spend
+// their step tail.
+func (c *Collector) AddAggMergeTime(d time.Duration) { c.aggMergeNs.Add(int64(d)) }
+
+// AddAggShippedBytes records encoded aggregation bytes shipped from a worker
+// to the master at step end.
+func (c *Collector) AddAggShippedBytes(n int64) { c.aggShippedBytes.Add(n) }
+
+// AggMergeTime returns the accumulated aggregation merge/codec wall time.
+func (c *Collector) AggMergeTime() time.Duration { return time.Duration(c.aggMergeNs.Load()) }
+
+// AggShippedBytes returns the encoded aggregation bytes shipped to the
+// master.
+func (c *Collector) AggShippedBytes() int64 { return c.aggShippedBytes.Load() }
 
 // ObserveStateBytes raises the peak intermediate-state estimate to n if
 // larger (monotone max).
@@ -193,33 +214,37 @@ func (c *Collector) String() string {
 // cut) and is the unit exported by the runtime's RunReport and consumed by
 // the bench harness.
 type Snapshot struct {
-	ExtensionTests int64   `json:"extension_tests"`
-	Subgraphs      int64   `json:"subgraphs"`
-	StealsInternal int64   `json:"steals_internal"`
-	StealsExternal int64   `json:"steals_external"`
-	StealBytes     int64   `json:"steal_bytes"`
-	StealTimeNs    int64   `json:"steal_time_ns"`
-	BusyTimeNs     int64   `json:"busy_time_ns"`
-	IdleTimeNs     int64   `json:"idle_time_ns"`
-	PeakStateBytes int64   `json:"peak_state_bytes"`
-	AbandonedExts  int64   `json:"abandoned_exts"`
-	CoreWork       []int64 `json:"core_work"`
+	ExtensionTests  int64   `json:"extension_tests"`
+	Subgraphs       int64   `json:"subgraphs"`
+	StealsInternal  int64   `json:"steals_internal"`
+	StealsExternal  int64   `json:"steals_external"`
+	StealBytes      int64   `json:"steal_bytes"`
+	StealTimeNs     int64   `json:"steal_time_ns"`
+	BusyTimeNs      int64   `json:"busy_time_ns"`
+	IdleTimeNs      int64   `json:"idle_time_ns"`
+	PeakStateBytes  int64   `json:"peak_state_bytes"`
+	AbandonedExts   int64   `json:"abandoned_exts"`
+	AggMergeTimeNs  int64   `json:"agg_merge_time_ns"`
+	AggShippedBytes int64   `json:"agg_shipped_bytes"`
+	CoreWork        []int64 `json:"core_work"`
 }
 
 // Snapshot copies the collector's current counters.
 func (c *Collector) Snapshot() Snapshot {
 	return Snapshot{
-		ExtensionTests: c.extTests.Load(),
-		Subgraphs:      c.subgraphs.Load(),
-		StealsInternal: c.stealsInternal.Load(),
-		StealsExternal: c.stealsExternal.Load(),
-		StealBytes:     c.stealBytes.Load(),
-		StealTimeNs:    c.stealTimeNs.Load(),
-		BusyTimeNs:     c.busyTimeNs.Load(),
-		IdleTimeNs:     c.idleTimeNs.Load(),
-		PeakStateBytes: c.peakStateBytes.Load(),
-		AbandonedExts:  c.abandonedExts.Load(),
-		CoreWork:       c.CoreWork(),
+		ExtensionTests:  c.extTests.Load(),
+		Subgraphs:       c.subgraphs.Load(),
+		StealsInternal:  c.stealsInternal.Load(),
+		StealsExternal:  c.stealsExternal.Load(),
+		StealBytes:      c.stealBytes.Load(),
+		StealTimeNs:     c.stealTimeNs.Load(),
+		BusyTimeNs:      c.busyTimeNs.Load(),
+		IdleTimeNs:      c.idleTimeNs.Load(),
+		PeakStateBytes:  c.peakStateBytes.Load(),
+		AbandonedExts:   c.abandonedExts.Load(),
+		AggMergeTimeNs:  c.aggMergeNs.Load(),
+		AggShippedBytes: c.aggShippedBytes.Load(),
+		CoreWork:        c.CoreWork(),
 	}
 }
 

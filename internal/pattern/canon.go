@@ -123,6 +123,7 @@ func (p *Pattern) Canonical() Canon {
 type CodeCache struct {
 	mu     sync.RWMutex
 	m      map[string]Canon
+	reps   map[string]*Pattern // canonical code -> shared representative
 	maxLen int
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -135,7 +136,7 @@ func NewCodeCache(maxEntries int) *CodeCache {
 	if maxEntries <= 0 {
 		maxEntries = 1 << 18
 	}
-	return &CodeCache{m: make(map[string]Canon), maxLen: maxEntries}
+	return &CodeCache{m: make(map[string]Canon), reps: make(map[string]*Pattern), maxLen: maxEntries}
 }
 
 // Canonical returns the canonical form of p, consulting the cache.
@@ -155,8 +156,52 @@ func (c *CodeCache) Canonical(p *Pattern) Canon {
 		c.m = make(map[string]Canon)
 	}
 	c.m[fp] = canon
+	if _, ok := c.reps[canon.Code]; !ok {
+		// Retain the relabeled-to-canonical-positions pattern, so every
+		// vertex numbering of the class maps to the same representative.
+		c.reps[canon.Code] = p.Relabel(canon.Perm)
+	}
 	c.mu.Unlock()
 	return canon
+}
+
+// Representative returns the single shared pattern this cache associates
+// with p's isomorphism class: the class pattern relabeled to its canonical
+// vertex order. All callers that canonicalize through the same cache receive
+// the identical *Pattern pointer (and byte-identical encodings) for a given
+// class, which makes "first representative wins" reductions independent of
+// embedding arrival and merge order. Aggregation value functions should
+// carry this pattern rather than the embedding's own numbering.
+func (c *CodeCache) Representative(p *Pattern) *Pattern {
+	_, rep := c.CanonicalRep(p)
+	return rep
+}
+
+// CanonicalRep returns the canonical form of p together with the class's
+// shared representative in one cache round trip (the aggregation hot loop
+// needs both: Perm aligns domain positions, the representative is the
+// reported pattern).
+func (c *CodeCache) CanonicalRep(p *Pattern) (Canon, *Pattern) {
+	canon := c.Canonical(p)
+	c.mu.RLock()
+	rep := c.reps[canon.Code]
+	c.mu.RUnlock()
+	if rep != nil {
+		return canon, rep
+	}
+	// The Canon entry was already cached before representative tracking saw
+	// this class (or p raced a wholesale eviction): rebuild. Relabeling to
+	// canonical positions is deterministic, so every rebuild of a class
+	// yields the same labeled graph.
+	rep = p.Relabel(canon.Perm)
+	c.mu.Lock()
+	if cur, ok := c.reps[canon.Code]; ok {
+		rep = cur
+	} else {
+		c.reps[canon.Code] = rep
+	}
+	c.mu.Unlock()
+	return canon, rep
 }
 
 // Stats returns (hits, misses).

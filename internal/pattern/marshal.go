@@ -2,6 +2,7 @@ package pattern
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 
@@ -62,4 +63,84 @@ func (p *Pattern) GobDecode(data []byte) error {
 	}
 	*p = *b.Build()
 	return nil
+}
+
+// AppendBinary appends a compact, self-delimiting binary encoding of p to dst
+// and returns the extended slice. The form is a fraction of the gob stream's
+// size (gob prefixes every message with a type descriptor): uvarint vertex
+// count, one zigzag-varint label per vertex, uvarint edge count, then per
+// edge (u uvarint, v uvarint, label zigzag-varint) with u < v in ascending
+// (u, v) order. The aggregation wire codec embeds patterns this way.
+func (p *Pattern) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(p.n))
+	for _, l := range p.vlabels {
+		dst = binary.AppendVarint(dst, int64(l))
+	}
+	dst = binary.AppendUvarint(dst, uint64(p.m))
+	for u := 0; u < p.n; u++ {
+		for v := u + 1; v < p.n; v++ {
+			if p.HasEdge(u, v) {
+				dst = binary.AppendUvarint(dst, uint64(u))
+				dst = binary.AppendUvarint(dst, uint64(v))
+				dst = binary.AppendVarint(dst, int64(p.EdgeLabel(u, v)))
+			}
+		}
+	}
+	return dst
+}
+
+// PatternFromBinary decodes a pattern written by AppendBinary from the front
+// of data, returning the pattern and the number of bytes consumed. Invalid
+// input (truncation, out-of-range counts, bad edges) yields an error, never
+// a panic: the bytes may arrive from the wire.
+func PatternFromBinary(data []byte) (*Pattern, int, error) {
+	off := 0
+	uv := func() (uint64, bool) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	sv := func() (int64, bool) {
+		v, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return 0, false
+		}
+		off += n
+		return v, true
+	}
+	n, ok := uv()
+	if !ok || n > MaxVertices {
+		return nil, 0, fmt.Errorf("pattern: binary vertex count invalid")
+	}
+	b := NewBuilder(int(n))
+	for v := 0; v < int(n); v++ {
+		l, ok := sv()
+		if !ok {
+			return nil, 0, fmt.Errorf("pattern: binary vertex label truncated")
+		}
+		b.SetVertexLabel(v, graph.Label(l))
+	}
+	m, ok := uv()
+	if !ok || m > n*n {
+		return nil, 0, fmt.Errorf("pattern: binary edge count invalid")
+	}
+	for i := uint64(0); i < m; i++ {
+		u, ok1 := uv()
+		v, ok2 := uv()
+		l, ok3 := sv()
+		if !ok1 || !ok2 || !ok3 {
+			return nil, 0, fmt.Errorf("pattern: binary edge truncated")
+		}
+		if u >= n || v >= n || u == v {
+			return nil, 0, fmt.Errorf("pattern: binary edge (%d,%d) invalid", u, v)
+		}
+		if b.p.adj[u]&(1<<uint(v)) != 0 {
+			return nil, 0, fmt.Errorf("pattern: binary edge (%d,%d) duplicated", u, v)
+		}
+		b.AddEdge(int(u), int(v), graph.Label(l))
+	}
+	return b.Build(), off, nil
 }

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fractal/internal/agg"
+	"fractal/internal/graph"
+	"fractal/internal/step"
+	"fractal/internal/subgraph"
+)
+
+// TestStepReportAggPipelineMetrics is the observability acceptance test of
+// the aggregation pipeline: a run with an aggregation step must report how
+// long the two-layer reduction took and how many encoded bytes workers
+// shipped to the master.
+func TestStepReportAggPipelineMetrics(t *testing.T) {
+	g := randomGraph(25, 0.25, 3, 7)
+	spec := &step.AggSpec{
+		Name:  "motifs",
+		Proto: agg.New[string, int64](agg.SumInt64),
+		Emit: func(e *subgraph.Embedding, local agg.Store) {
+			local.(*agg.Aggregation[string, int64]).Add(e.Pattern().Canonical().Code, 1)
+		},
+	}
+	rt, err := New(Config{Workers: 3, CoresPerWorker: 2, WS: WSBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	res, err := rt.Run(context.Background(), Job{
+		Graph: g, Kind: subgraph.VertexInduced,
+		Workflow: step.Workflow{step.ExtendP(), step.ExtendP(), step.AggregateP(spec)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.AggShippedBytes <= 0 {
+		t.Errorf("AggShippedBytes=%d, want > 0", last.AggShippedBytes)
+	}
+	if last.AggMergeTime <= 0 {
+		t.Errorf("AggMergeTime=%v, want > 0", last.AggMergeTime)
+	}
+	if last.Metrics.AggShippedBytes != last.AggShippedBytes {
+		t.Errorf("snapshot bytes %d != report bytes %d",
+			last.Metrics.AggShippedBytes, last.AggShippedBytes)
+	}
+	if last.Metrics.AggMergeTimeNs <= 0 {
+		t.Error("metrics snapshot missing agg merge time")
+	}
+	// An aggregation-free run ships nothing.
+	var c atomic.Int64
+	plain, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 2, &c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range plain.Steps {
+		if s.AggShippedBytes != 0 {
+			t.Errorf("aggregation-free step %d shipped %d bytes", i, s.AggShippedBytes)
+		}
+	}
+}
+
+// TestAggregationArityMismatchSurfaces is the satellite acceptance test for
+// the silent-no-op fix: an aggregation whose key function collapses supports
+// of different arities must fail the run with a typed *AggregationError that
+// names the arity fault, instead of silently dropping one side's evidence
+// the way the seed implementation did.
+func TestAggregationArityMismatchSurfaces(t *testing.T) {
+	g := randomGraph(20, 0.3, 2, 17)
+	spec := &step.AggSpec{
+		Name:  "miswired",
+		Proto: agg.New[string, *agg.DomainSupport](agg.ReduceDomainSupport),
+		Emit: func(e *subgraph.Embedding, local agg.Store) {
+			a := local.(*agg.Aggregation[string, *agg.DomainSupport])
+			// One key, two arities: odd-rooted embeddings contribute 1-position
+			// supports, even-rooted ones 2-position supports.
+			v := e.Vertices()[0]
+			if v%2 == 0 {
+				a.Add("k", agg.NewDomainSupport(nil, 1, []graph.VertexID{v}, []int{0}))
+			} else {
+				a.Add("k", agg.NewDomainSupport(nil, 1, []graph.VertexID{v, v + 100}, []int{0, 1}))
+			}
+		},
+	}
+	rt, err := New(Config{Workers: 2, CoresPerWorker: 2, WS: WSBoth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	_, err = rt.Run(context.Background(), Job{
+		Graph: g, Kind: subgraph.VertexInduced,
+		Workflow: step.Workflow{step.ExtendP(), step.AggregateP(spec)},
+	})
+	if err == nil {
+		t.Fatal("arity-mismatched aggregation committed silently")
+	}
+	var aggErr *AggregationError
+	if !errors.As(err, &aggErr) {
+		t.Fatalf("err=%v (%T), want *AggregationError", err, err)
+	}
+	found := false
+	for _, r := range aggErr.Reasons {
+		if strings.Contains(r, "different arity") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasons %v do not name the arity fault", aggErr.Reasons)
+	}
+
+	// The runtime stays usable after the failed step.
+	var c atomic.Int64
+	want := refCount(g, subgraph.VertexInduced, nil, 2)
+	if _, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 2, &c)); err != nil {
+		t.Fatalf("run after arity failure: %v", err)
+	}
+	if c.Load() != want {
+		t.Errorf("post-failure count=%d, want %d", c.Load(), want)
+	}
+}

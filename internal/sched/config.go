@@ -156,6 +156,14 @@ type StepReport struct {
 	StealOverhead float64 `json:"steal_overhead"`
 	// PeakStateBytes is the peak enumerator-state estimate.
 	PeakStateBytes int64 `json:"peak_state_bytes"`
+	// AggMergeTime is the wall time spent reducing aggregation partials
+	// outside the enumeration loop: every worker's per-core tree merge plus
+	// encode, and the master's decode plus per-worker tree merge.
+	AggMergeTime time.Duration `json:"agg_merge_time_ns"`
+	// AggShippedBytes is the encoded aggregation volume shipped from
+	// workers to the master at step end (the external result-shipping cost
+	// the compact wire codec cuts).
+	AggShippedBytes int64 `json:"agg_shipped_bytes"`
 	// Metrics is the full collector snapshot for the step, the canonical
 	// export schema (the scalar fields above remain for convenience).
 	Metrics metrics.Snapshot `json:"metrics"`

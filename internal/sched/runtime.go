@@ -322,6 +322,8 @@ func fillReport(rep *StepReport, run *jobRun, cores int) {
 	rep.StealOverhead = col.StealOverhead()
 	rep.PeakStateBytes = col.PeakStateBytes()
 	rep.AbandonedExts = col.AbandonedExts()
+	rep.AggMergeTime = col.AggMergeTime()
+	rep.AggShippedBytes = col.AggShippedBytes()
 	rep.Metrics = col.Snapshot()
 	rep.Rounds = run.rounds
 	rep.RoundsTotal = run.roundsTotal
@@ -551,14 +553,30 @@ func missingWorker(reports map[int]statusReportMsg, workers int) int {
 	return -1
 }
 
+// aggPayload is one worker's encoded partial for one aggregation, buffered
+// until every worker has reported so decode and merge can run in parallel.
+type aggPayload struct {
+	worker int
+	data   []byte
+}
+
 // collectAggregations gathers every worker's partials, merges them into the
 // environment, and applies final aggregation filters.
+//
+// Payloads are buffered as they arrive — the receive loop does no CPU work
+// between messages, so slow decoding can no longer backpressure the
+// transport — and once every worker has reported, each payload is decoded
+// into its own store concurrently and the per-worker stores are folded with
+// the same parallel pairwise tree the workers use for their cores
+// (agg.MergeTree). Decode and merge wall time lands in the run's collector
+// alongside the workers' contributions.
 func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int, s *step.Step) error {
 	specs := s.AggSpecs()
-	merged := map[string]agg.Store{}
+	protos := map[string]agg.Store{}
 	for _, sp := range specs {
-		merged[sp.Name] = sp.Proto.NewEmpty()
+		protos[sp.Name] = sp.Proto
 	}
+	payloads := map[string][]aggPayload{}
 	doneWorkers := 0
 	done := map[int]bool{}
 	expected := map[int]int{}
@@ -580,15 +598,10 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
 					continue
 				}
-				store, ok := merged[m.Name]
-				if !ok {
+				if _, ok := protos[m.Name]; !ok {
 					continue
 				}
-				if err := store.DecodeAndMerge(m.Data); err != nil {
-					return &AggregationError{Worker: -1, Reasons: []string{
-						fmt.Sprintf("merging %q from worker %d: %v", m.Name, m.Worker, err),
-					}}
-				}
+				payloads[m.Name] = append(payloads[m.Name], aggPayload{worker: m.Worker, data: m.Data})
 				received[m.Worker]++
 				if exp, ok := expected[m.Worker]; ok && received[m.Worker] == exp {
 					doneWorkers++
@@ -624,9 +637,44 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 			return &WorkerLostError{Worker: missing, Phase: "aggregation"}
 		}
 	}
-	for name, store := range merged {
-		store.ApplyFilter()
-		run.env.Put(name, store)
+	mergeStart := time.Now()
+	defer func() { run.col.AddAggMergeTime(time.Since(mergeStart)) }()
+	stop := func() bool { return ctx.Err() != nil || run.cancelled.Load() }
+	for _, sp := range specs {
+		ps := payloads[sp.Name]
+		stores := make([]agg.Store, len(ps))
+		decErrs := make([]error, len(ps))
+		var wg sync.WaitGroup
+		for i := range ps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				stores[i] = sp.Proto.NewEmpty()
+				decErrs[i] = stores[i].DecodeAndMerge(ps[i].data)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range decErrs {
+			if err != nil {
+				return &AggregationError{Worker: -1, Reasons: []string{
+					fmt.Sprintf("merging %q from worker %d: %v", sp.Name, ps[i].worker, err),
+				}}
+			}
+		}
+		merged, err := agg.MergeTree(stores, stop)
+		if err != nil {
+			if errors.Is(err, agg.ErrMergeCancelled) && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return &AggregationError{Worker: -1, Reasons: []string{
+				fmt.Sprintf("merging %q partials: %v", sp.Name, err),
+			}}
+		}
+		if merged == nil {
+			merged = sp.Proto.NewEmpty()
+		}
+		merged.ApplyFilter()
+		run.env.Put(sp.Name, merged)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fractal/internal/agg"
 	"fractal/internal/graph"
@@ -217,6 +218,14 @@ func (w *worker) startStep(m stepStartMsg) {
 // shipped is reported in the done message's error list — never silently
 // skipped, which would commit a wrong (partially merged) or missing
 // aggregation with no indication.
+//
+// The per-core fold is a parallel pairwise tree (agg.MergeTree): c partials
+// reach one store in ceil(log2 c) rounds of concurrent merges instead of a
+// sequential c-1 fold, so the post-quiescence step tail — which for
+// aggregation-heavy workloads is where the wall time moved once enumeration
+// stopped allocating — shrinks with core count instead of growing. Merge and
+// encode wall time, and the encoded bytes shipped, are recorded in the
+// run's collector so StepReport shows where aggregation time goes.
 func (w *worker) endStep(m stepEndMsg) {
 	w.mu.Lock()
 	st := w.cur
@@ -232,14 +241,17 @@ func (w *worker) endStep(m stepEndMsg) {
 
 	sent := 0
 	var errs []string
+	mergeStart := time.Now()
 	for _, sp := range st.s.AggSpecs() {
-		merged := sp.Proto.NewEmpty()
-		var stepErr error
+		partials := make([]agg.Store, len(w.cores))
 		for i := range w.cores {
-			if err := merged.MergeFrom(st.localAggs[i][sp.Name]); err != nil {
-				stepErr = fmt.Errorf("merging core %d partial of %q: %w", i, sp.Name, err)
-				break
-			}
+			partials[i] = st.localAggs[i][sp.Name]
+		}
+		merged, stepErr := agg.MergeTree(partials, st.aborted)
+		if stepErr != nil {
+			stepErr = fmt.Errorf("merging core partials of %q: %w", sp.Name, stepErr)
+		} else if merged == nil {
+			merged = sp.Proto.NewEmpty()
 		}
 		var data []byte
 		if stepErr == nil {
@@ -258,8 +270,10 @@ func (w *worker) endStep(m stepEndMsg) {
 			errs = append(errs, stepErr.Error())
 			continue
 		}
+		st.col.AddAggShippedBytes(int64(len(data)))
 		sent++
 	}
+	st.col.AddAggMergeTime(time.Since(mergeStart))
 	done := aggDoneMsg{Job: st.job, Step: st.index, Worker: w.id, Sent: sent, Errs: errs}
 	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggDone, Body: encode(done)})
 }

@@ -1,4 +1,4 @@
-.PHONY: check test build vet bench bench-micro bench-agg fuzz-agg
+.PHONY: check test build vet bench bench-micro bench-agg bench-plan fuzz-agg fuzz-plan
 
 check:
 	./scripts/check.sh
@@ -26,7 +26,20 @@ bench-agg:
 	go test -run=NONE -bench='DomainSupport|AggEncode' -benchmem \
 		./internal/agg/
 
+# Compiled-plan engines against the canonical-check enumeration paths:
+# motif and clique counting end to end (EXPERIMENTS.md). CI runs this with
+# BENCHTIME=1x as a smoke test.
+BENCHTIME ?= 1s
+bench-plan:
+	go test -run=NONE -bench='MotifsPlan|MotifsCanon|CliquesPlan|CliquesCanon' \
+		-benchtime=$(BENCHTIME) -benchmem ./internal/apps/
+
 # Short fuzz of the aggregation wire codec (decoders must fail cleanly on
 # arbitrary bytes).
 fuzz-agg:
 	go test -run=NONE -fuzz=FuzzBinaryCodec -fuzztime=10s ./internal/agg/
+
+# Short fuzz of the pattern-plan compiler (every connected pattern must
+# compile to a total, restriction-consistent plan).
+fuzz-plan:
+	go test -run=NONE -fuzz=FuzzPlanCompile -fuzztime=10s ./internal/pattern/

@@ -15,6 +15,15 @@
 //
 // Runtime flags: -workers, -cores, -ws (none|internal|external|both), -tcp.
 //
+// Plan flags:
+//
+//	-engine <plan|canon>  motifs/cliques execution engine: compiled
+//	                      symmetry-broken pattern plans (default) or the
+//	                      canonical-check enumeration path
+//	-explain              print the compiled plan(s) for the selected app
+//	                      (motifs, cliques, triangles, query) and exit
+//	                      without loading a graph
+//
 // Observability flags:
 //
 //	-metrics-out <path>  write the run's RunReport (per-step collector
@@ -68,8 +77,21 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot (RunReport JSON) to this file")
 		traceOn    = flag.Bool("trace", false, "record the structured trace journal (exported via -metrics-out)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		engine     = flag.String("engine", "plan", "motifs/cliques engine: plan (compiled pattern plans) or canon (canonical checks)")
+		explain    = flag.Bool("explain", false, "print the compiled plan(s) for the selected app and exit (no graph needed)")
 	)
 	flag.Parse()
+	if *engine != "plan" && *engine != "canon" {
+		fatal(fmt.Errorf("unknown -engine %q (want plan or canon)", *engine))
+	}
+	if *explain {
+		if *app == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		check(explainApp(*app, *k, *queryName))
+		return
+	}
 	if *graphPath == "" || *app == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -111,20 +133,27 @@ func main() {
 	var last *fractal.Result
 	switch *app {
 	case "motifs":
-		m, res, err := apps.Motifs(ctx, g, *k)
+		runMotifs := apps.Motifs
+		if *engine == "canon" {
+			runMotifs = apps.MotifsCanon
+		}
+		m, res, err := runMotifs(ctx, g, *k)
 		check(err)
 		last = res
-		fmt.Printf("%d-vertex motifs: %d classes, %d subgraphs, %s\n",
-			*k, len(m), m.Total(), res.Wall)
+		fmt.Printf("%d-vertex motifs [%s engine]: %d classes, %d subgraphs, EC=%d, %s\n",
+			*k, *engine, len(m), m.Total(), res.TotalEC(), res.Wall)
 		for code, pc := range m {
 			fmt.Printf("  %x: %d  %v\n", code[:min(8, len(code))], pc.Count, pc.Pat)
 		}
 	case "cliques":
 		var n int64
 		var res *fractal.Result
-		if *kclist {
+		switch {
+		case *kclist:
 			n, res, err = apps.CliquesKClist(ctx, g, *k)
-		} else {
+		case *engine == "canon":
+			n, res, err = apps.CliquesCanon(ctx, g, *k)
+		default:
 			n, res, err = apps.Cliques(ctx, g, *k)
 		}
 		check(err)
@@ -190,6 +219,49 @@ func writeMetrics(path string, res *fractal.Result) error {
 	}
 	fmt.Printf("metrics snapshot written to %s\n", path)
 	return nil
+}
+
+// explainApp compiles the plan(s) the selected application would execute and
+// prints their Explain reports without loading a graph.
+func explainApp(app string, k int, queryName string) error {
+	switch app {
+	case "motifs":
+		pats, err := pattern.ConnectedPatterns(k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d-vertex motifs: %d pattern plans\n\n", k, len(pats))
+		for _, p := range pats {
+			pl, err := fractal.CompileInducedPlan(p)
+			if err != nil {
+				return err
+			}
+			fmt.Println(pl.Explain())
+		}
+		return nil
+	case "triangles":
+		k = 3
+		fallthrough
+	case "cliques":
+		pl, err := fractal.CompilePlan(pattern.Clique(k))
+		if err != nil {
+			return err
+		}
+		fmt.Println(pl.Explain())
+		return nil
+	case "query":
+		p, err := patternByName(queryName)
+		if err != nil {
+			return err
+		}
+		pl, err := fractal.CompilePlan(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(pl.Explain())
+		return nil
+	}
+	return fmt.Errorf("-explain supports motifs, cliques, triangles, and query, not %q", app)
 }
 
 func patternByName(name string) (*fractal.Pattern, error) {

@@ -58,6 +58,48 @@ type Subgraph = subgraph.Embedding
 // aggregation keys).
 type Pattern = pattern.Pattern
 
+// Plan is a compiled pattern-matching plan: a cost-model-selected vertex
+// order with per-level backward constraints and Grochow–Kellis
+// symmetry-breaking restrictions, so every automorphism class of embeddings
+// is enumerated exactly once. Compile one with CompilePlan (or
+// CompileInducedPlan) and run it with Graph.PFractoidPlan; Plan.Explain
+// renders it human-readably.
+type Plan = pattern.Plan
+
+// CompilePlan compiles p into an execution plan matching p's edges (an
+// embedding may have extra edges between matched vertices, the usual
+// subgraph-querying semantics). The plan is immutable and reusable across
+// graphs and runs. The error reports unusable patterns (empty,
+// disconnected).
+func CompilePlan(p *Pattern) (*Plan, error) { return pattern.NewPlan(p) }
+
+// CompileInducedPlan compiles p into a plan with vertex-induced matching
+// semantics: an embedding must have exactly p's edges among its vertices,
+// no more. The multi-plan motif engine is built on induced plans.
+func CompileInducedPlan(p *Pattern) (*Plan, error) { return pattern.NewInducedPlan(p) }
+
+// PatternBuilder constructs query patterns for CompilePlan / PFractoid;
+// see NewPatternBuilder.
+type PatternBuilder = pattern.PBuilder
+
+// NewPatternBuilder returns a builder for an n-vertex query pattern.
+// Vertices are 0..n-1; labels default to NoLabel (match any).
+func NewPatternBuilder(n int) *PatternBuilder { return pattern.NewBuilder(n) }
+
+// NoLabel is the wildcard vertex/edge label on query patterns.
+const NoLabel = pattern.NoLabel
+
+// Named query patterns, reusable with CompilePlan and PFractoid.
+func PatternClique(k int) *Pattern { return pattern.Clique(k) }
+func PatternTriangle() *Pattern    { return pattern.Triangle() }
+func PatternPath(k int) *Pattern   { return pattern.Path(k) }
+func PatternCycle(k int) *Pattern  { return pattern.Cycle(k) }
+
+// ConnectedPatterns returns all non-isomorphic connected unlabeled
+// patterns on k vertices (k up to pattern.MaxGenVertices), the pattern
+// set the multi-plan motif engine compiles and runs.
+func ConnectedPatterns(k int) ([]*Pattern, error) { return pattern.ConnectedPatterns(k) }
+
 // DomainSupport is the minimum image-based support value used by FSM.
 type DomainSupport = agg.DomainSupport
 
@@ -235,11 +277,24 @@ func (fg *Graph) EFractoid() *Fractoid {
 }
 
 // PFractoid derives an empty pattern-induced fractoid for query pattern p
-// (operator B3). The error reports unusable patterns (empty, disconnected).
+// (operator B3), compiling a plan on the spot — a convenience wrapper over
+// CompilePlan + PFractoidPlan. The error reports unusable patterns (empty,
+// disconnected).
 func (fg *Graph) PFractoid(p *Pattern) *Fractoid {
-	plan, err := pattern.NewPlan(p)
+	plan, err := CompilePlan(p)
 	if err != nil {
 		return &Fractoid{fg: fg, err: err}
+	}
+	return fg.PFractoidPlan(plan)
+}
+
+// PFractoidPlan derives an empty pattern-induced fractoid from an already
+// compiled plan, so one compilation is reusable across graphs and runs
+// (the multi-plan motif engine compiles each pattern once per k). A nil
+// plan yields a fractoid whose Err is set.
+func (fg *Graph) PFractoidPlan(plan *Plan) *Fractoid {
+	if plan == nil {
+		return &Fractoid{fg: fg, err: fmt.Errorf("fractal: PFractoidPlan requires a non-nil plan")}
 	}
 	return &Fractoid{fg: fg, kind: subgraph.PatternInduced, plan: plan}
 }
@@ -288,6 +343,13 @@ func (c *Context) PatternCanon(p *Pattern) pattern.Canon {
 // embedding's own numbering.
 func (c *Context) PatternRep(e *Subgraph) *Pattern {
 	return c.cache.Representative(e.Pattern())
+}
+
+// PatternRepOf returns the shared canonical representative of an explicit
+// pattern's isomorphism class (the PatternRep analog for patterns built
+// outside an embedding, e.g. from FromEmbedding or generated pattern sets).
+func (c *Context) PatternRepOf(p *Pattern) *Pattern {
+	return c.cache.Representative(p)
 }
 
 // MNISupport builds the minimum image-based support contribution of a

@@ -419,3 +419,141 @@ func TestExpandZeroErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanAPI covers the public compiled-plan surface: CompilePlan,
+// CompileInducedPlan, PFractoidPlan plan reuse across graphs, Explain, and
+// CombineResults.
+func TestPublicPatternConstructors(t *testing.T) {
+	// The exported constructors must agree with the internal ones so a
+	// caller outside the module (which cannot import internal/pattern)
+	// gets identical plans.
+	ctx := testContext(t)
+	if got, want := ctx.PatternCanon(PatternClique(4)).Code, ctx.PatternCanon(pattern.Clique(4)).Code; got != want {
+		t.Errorf("PatternClique(4) canon %q != internal %q", got, want)
+	}
+	if got, want := ctx.PatternCanon(PatternCycle(5)).Code, ctx.PatternCanon(pattern.Cycle(5)).Code; got != want {
+		t.Errorf("PatternCycle(5) canon %q != internal %q", got, want)
+	}
+	built := NewPatternBuilder(3).
+		SetVertexLabel(0, 2).
+		AddEdge(0, 1, NoLabel).
+		AddEdge(1, 2, NoLabel).
+		Build()
+	if built.NumVertices() != 3 || built.VertexLabel(0) != 2 || !built.Connected() {
+		t.Errorf("builder pattern malformed: %v", built)
+	}
+	if _, err := CompilePlan(PatternPath(4)); err != nil {
+		t.Errorf("PatternPath(4) does not compile: %v", err)
+	}
+	pats, err := ConnectedPatterns(4)
+	if err != nil || len(pats) != 6 {
+		t.Errorf("ConnectedPatterns(4) = %d patterns, err=%v; want 6", len(pats), err)
+	}
+	if PatternTriangle().NumEdges() != 3 {
+		t.Errorf("PatternTriangle: %v", PatternTriangle())
+	}
+}
+
+func TestPlanAPI(t *testing.T) {
+	ctx := testContext(t)
+	g := ctx.FromGraph(k4Graph())
+
+	plan, err := CompilePlan(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumRestrictions() == 0 {
+		t.Error("triangle plan has no symmetry-breaking restrictions")
+	}
+	if plan.Explain() == "" {
+		t.Error("empty Explain")
+	}
+
+	// The same compiled plan runs on several graphs.
+	for _, raw := range []*graph.Graph{k4Graph(), denseTestGraph(30)} {
+		fg := ctx.FromGraph(raw)
+		n, _, err := fg.PFractoidPlan(plan).Expand(3).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := fg.VFractoid().Expand(3).Filter(CliqueFilter).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Errorf("%s: plan triangles=%d, canonical=%d", raw.Name(), n, want)
+		}
+	}
+
+	// Induced plans reject embeddings with extra edges: an induced 3-path
+	// match excludes triangles.
+	pb := pattern.NewBuilder(3)
+	pb.AddEdge(0, 1, pattern.NoLabel)
+	pb.AddEdge(1, 2, pattern.NoLabel)
+	ip, err := CompileInducedPlan(pb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ip.Induced {
+		t.Error("CompileInducedPlan lost the Induced flag")
+	}
+	got, _, err := g.PFractoidPlan(ip).Expand(3).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k4+pendant: induced 3-paths must use the pendant: {x,3,4}, x in
+	// {0,1,2} = 3 (inside K4 every triple is a triangle).
+	if got != 3 {
+		t.Errorf("induced 3-path count=%d, want 3", got)
+	}
+
+	if g.PFractoidPlan(nil).Err() == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := CompilePlan(pattern.NewBuilder(2).Build()); err == nil {
+		t.Error("disconnected pattern compiled")
+	}
+}
+
+func TestCombineResults(t *testing.T) {
+	ctx := testContext(t)
+	g := ctx.FromGraph(k4Graph())
+	_, r1, err := g.VFractoid().Expand(2).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, err := g.VFractoid().Expand(3).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CombineResults(r1, nil, r2)
+	if c == nil {
+		t.Fatal("nil combined result")
+	}
+	if len(c.Steps) != len(r1.Steps)+len(r2.Steps) {
+		t.Errorf("steps: %d, want %d", len(c.Steps), len(r1.Steps)+len(r2.Steps))
+	}
+	if c.TotalEC() != r1.TotalEC()+r2.TotalEC() {
+		t.Errorf("TotalEC: %d, want %d", c.TotalEC(), r1.TotalEC()+r2.TotalEC())
+	}
+	if c.Wall != r1.Wall+r2.Wall {
+		t.Errorf("Wall: %v, want %v", c.Wall, r1.Wall+r2.Wall)
+	}
+	if c.Report == nil || len(c.Report.Steps) != len(c.Steps) {
+		t.Error("combined report missing or inconsistent")
+	}
+	if CombineResults(nil, nil) != nil {
+		t.Error("all-nil input must yield nil")
+	}
+}
+
+// TestPatternRepOf checks the explicit-pattern representative is shared
+// with the embedding-derived one.
+func TestPatternRepOf(t *testing.T) {
+	ctx := testContext(t)
+	a := ctx.PatternRepOf(pattern.Triangle())
+	b := ctx.PatternRepOf(pattern.Cycle(3))
+	if a != b {
+		t.Error("isomorphic patterns got different representatives")
+	}
+}

@@ -152,6 +152,33 @@ func (r *Result) TotalEC() int64 {
 	return t
 }
 
+// CombineResults merges the results of several executions run back to back
+// on the same Context — the multi-plan motif engine runs one job per
+// compiled pattern plan — into one Result: step reports concatenate in job
+// order (so TotalEC spans all jobs), wall times sum, and the observability
+// reports merge via sched.CombineReports. Aggregations are not merged (a
+// meaningful merge is application-specific); read each job's own Result
+// for them. Nil results are skipped; all-nil input yields nil.
+func CombineResults(results ...*Result) *Result {
+	var out *Result
+	var reports []*sched.RunReport
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			out = &Result{}
+		}
+		out.Steps = append(out.Steps, r.Steps...)
+		out.Wall += r.Wall
+		reports = append(reports, r.Report)
+	}
+	if out != nil {
+		out.Report = sched.CombineReports(reports...)
+	}
+	return out
+}
+
 // run executes the fractoid's workflow under ctx. On cancellation it
 // returns the partial Result (last step marked Cancelled) together with the
 // error, so callers can observe how far execution got.

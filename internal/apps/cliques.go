@@ -5,14 +5,29 @@ import (
 
 	"fractal"
 	"fractal/internal/graph"
+	"fractal/internal/pattern"
 	"fractal/internal/subgraph"
 )
 
-// Cliques counts the k-cliques of g (Listing 2 of the paper):
+// Cliques counts the k-cliques of g through the compiled Clique(k) plan:
+// a single pattern-induced job whose symmetry-breaking restrictions
+// enumerate each clique exactly once (v0 < v1 < … < vk-1), with no clique
+// filter and no canonical check. A clique has no non-adjacent vertex pair,
+// so the edge-matching (non-induced) plan suffices.
+func Cliques(fc *fractal.Context, g *fractal.Graph, k int) (int64, *fractal.Result, error) {
+	plan, err := fractal.CompilePlan(pattern.Clique(k))
+	if err != nil {
+		return 0, nil, err
+	}
+	return g.PFractoidPlan(plan).Expand(k).Count()
+}
+
+// CliquesCanon counts k-cliques with the seed path (Listing 2 of the
+// paper), retained as the differential oracle for the plan engine:
 //
 //	graph.vfractoid.
 //	  expand(1).filter(clique check).explore(k).subgraphs()
-func Cliques(fc *fractal.Context, g *fractal.Graph, k int) (int64, *fractal.Result, error) {
+func CliquesCanon(fc *fractal.Context, g *fractal.Graph, k int) (int64, *fractal.Result, error) {
 	return g.VFractoid().Expand(1).Filter(fractal.CliqueFilter).Explore(k).Count()
 }
 

@@ -8,6 +8,8 @@ package apps
 import (
 	"fractal"
 	"fractal/internal/agg"
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
 )
 
 // MotifCounts is the result of the motifs kernel: counts per pattern with a
@@ -24,12 +26,135 @@ func (m MotifCounts) Total() int64 {
 }
 
 // Motifs counts the frequencies of all k-vertex induced subgraph patterns
-// (Listing 1 of the paper):
+// using the compiled-plan engine: one pattern-induced job per non-isomorphic
+// connected k-vertex pattern, each running a symmetry-broken induced plan,
+// so every automorphism class of embeddings is enumerated exactly once and
+// no per-embedding canonicalization is needed. The returned Result combines
+// the per-plan jobs (CombineResults), so TotalEC spans the whole engine.
+//
+// For k beyond pattern.MaxGenVertices the engine falls back to the
+// canonical-check path (MotifsCanon), which supports any k.
+func Motifs(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
+	if k > pattern.MaxGenVertices {
+		return MotifsCanon(fc, g, k)
+	}
+	pats, err := pattern.ConnectedPatterns(k)
+	if err != nil {
+		return nil, nil, err
+	}
+	if vl, el, ok := uniformLabels(g.Raw()); ok {
+		return motifsPlanUniform(fc, g, k, pats, vl, el)
+	}
+	return motifsPlanLabeled(fc, g, k, pats)
+}
+
+// motifsPlanUniform is the fast path for graphs whose vertices all carry
+// the same (single) label and whose edges all carry the same label: each
+// generated pattern is label-specialized and counted directly, with zero
+// per-embedding work beyond enumeration. The label specialization makes the
+// aggregation keys (canonical codes) identical to the canonical-check
+// path's, which canonicalizes induced patterns carrying the graph's labels.
+func motifsPlanUniform(fc *fractal.Context, g *fractal.Graph, k int, pats []*pattern.Pattern, vl, el graph.Label) (MotifCounts, *fractal.Result, error) {
+	counts := make(MotifCounts, len(pats))
+	results := make([]*fractal.Result, 0, len(pats))
+	for _, p := range pats {
+		lp := pattern.WithUniformLabels(p, vl, el)
+		plan, err := fractal.CompileInducedPlan(lp)
+		if err != nil {
+			return nil, fractal.CombineResults(results...), err
+		}
+		n, res, err := g.PFractoidPlan(plan).Expand(k).Count()
+		results = append(results, res)
+		if err != nil {
+			return nil, fractal.CombineResults(results...), err
+		}
+		if n > 0 {
+			canon := fc.PatternCanon(lp)
+			counts[canon.Code] = agg.PatternCount{Pat: fc.PatternRepOf(lp), Count: n}
+		}
+	}
+	return counts, fractal.CombineResults(results...), nil
+}
+
+// motifsPlanLabeled is the general path: the generated structure plans are
+// label-blind (every label wildcarded), so each job still enumerates each
+// automorphism class of each k-vertex set exactly once; the embeddings of
+// one structure class are then split into labeled motif classes by
+// canonicalizing the induced labeled pattern — canonicalization per
+// embedding, but only across the label dimension, with the structure and
+// symmetry handled by the plan.
+func motifsPlanLabeled(fc *fractal.Context, g *fractal.Graph, k int, pats []*pattern.Pattern) (MotifCounts, *fractal.Result, error) {
+	counts := make(MotifCounts, len(pats))
+	results := make([]*fractal.Result, 0, len(pats))
+	for _, p := range pats {
+		plan, err := fractal.CompileInducedPlan(p)
+		if err != nil {
+			return nil, fractal.CombineResults(results...), err
+		}
+		frac := fractal.Aggregate(g.PFractoidPlan(plan).Expand(k), "motifs",
+			func(e *fractal.Subgraph) string {
+				return fc.PatternCanon(pattern.FromEmbedding(e.Graph(), e.Vertices(), nil)).Code
+			},
+			func(e *fractal.Subgraph) agg.PatternCount {
+				induced := pattern.FromEmbedding(e.Graph(), e.Vertices(), nil)
+				return agg.PatternCount{Pat: fc.PatternRepOf(induced), Count: 1}
+			},
+			agg.ReducePatternCount, nil)
+		m, res, err := fractal.AggregationMap[string, agg.PatternCount](frac, "motifs")
+		results = append(results, res)
+		if err != nil {
+			return nil, fractal.CombineResults(results...), err
+		}
+		// Distinct structures canonicalize to distinct codes, so no merge
+		// collisions happen across jobs; within a job the aggregation has
+		// already reduced.
+		for code, pc := range m {
+			counts[code] = pc
+		}
+	}
+	return counts, fractal.CombineResults(results...), nil
+}
+
+// uniformLabels reports whether every vertex of g carries at most one label
+// and all vertices agree, and every edge label agrees; the common labels
+// are returned for pattern specialization. Unlabeled graphs are uniform
+// (with the no-label sentinel).
+func uniformLabels(g *graph.Graph) (vl, el graph.Label, ok bool) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, 0, false
+	}
+	vl = g.VertexLabel(0)
+	for v := 0; v < n; v++ {
+		id := graph.VertexID(v)
+		if len(g.VertexLabels(id)) > 1 || g.VertexLabel(id) != vl {
+			return 0, 0, false
+		}
+	}
+	el = pattern.NoLabel
+	for id := 0; id < g.NumEdges(); id++ {
+		l := g.EdgeLabel(graph.EdgeID(id))
+		if id == 0 {
+			el = l
+		} else if l != el {
+			return 0, 0, false
+		}
+	}
+	return vl, el, true
+}
+
+// MotifsCanon counts motifs with the seed canonical-check path (Listing 1
+// of the paper): expand vertex-induced subgraphs and aggregate on the
+// canonical pattern of each embedding —
 //
 //	graph.vfractoid.expand(k).
 //	  aggregate[Pattern,Long]("motifs", pattern, 1, sum).
 //	  aggregation("motifs")
-func Motifs(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
+//
+// Every automorphic duplicate is enumerated and folded by canonicalization,
+// so this path is the differential oracle for the plan engine (and the
+// fallback for k beyond the pattern generator's bound).
+func MotifsCanon(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
 	frac := fractal.Aggregate(g.VFractoid().Expand(k), "motifs",
 		func(e *fractal.Subgraph) string { return fc.PatternOf(e).Code },
 		func(e *fractal.Subgraph) agg.PatternCount {

@@ -1,0 +1,61 @@
+package apps
+
+import (
+	"testing"
+
+	"fractal"
+	"fractal/internal/workload"
+)
+
+// Plan-engine vs canonical-engine benchmarks (make bench-plan). The graphs
+// are sized so a full -benchtime pass stays in the hundreds of milliseconds
+// per iteration; EXPERIMENTS.md records the measured extension-cost and
+// wall-clock gaps on the larger bench-micro and pin graphs.
+
+func benchCtx(b *testing.B) *fractal.Context {
+	b.Helper()
+	ctx, err := fractal.NewContext(fractal.WithCores(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(ctx.Close)
+	return ctx
+}
+
+func benchMotifs(b *testing.B, run func(*fractal.Context, *fractal.Graph, int) (MotifCounts, *fractal.Result, error)) {
+	ctx := benchCtx(b)
+	g := ctx.FromGraph(workload.BarabasiAlbert("bench-plan-ba", 400, 6, 1, 31))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _, err := run(ctx, g, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Total() == 0 {
+			b.Fatal("no motifs counted")
+		}
+	}
+}
+
+func BenchmarkMotifsPlan(b *testing.B)  { benchMotifs(b, Motifs) }
+func BenchmarkMotifsCanon(b *testing.B) { benchMotifs(b, MotifsCanon) }
+
+func benchCliques(b *testing.B, run func(*fractal.Context, *fractal.Graph, int) (int64, *fractal.Result, error)) {
+	ctx := benchCtx(b)
+	g := ctx.FromGraph(workload.BarabasiAlbert("bench-plan-bac", 400, 8, 1, 32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _, err := run(ctx, g, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no cliques counted")
+		}
+	}
+}
+
+func BenchmarkCliquesPlan(b *testing.B)  { benchCliques(b, Cliques) }
+func BenchmarkCliquesCanon(b *testing.B) { benchCliques(b, CliquesCanon) }

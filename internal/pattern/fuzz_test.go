@@ -1,0 +1,179 @@
+package pattern
+
+import (
+	"testing"
+
+	"fractal/internal/graph"
+)
+
+// decodeFuzzPattern builds a pattern from raw fuzz bits: nRaw selects the
+// vertex count (1..MaxGenVertices), edges is a bitmask over vertex pairs in
+// (u,v) lexicographic order, and vlabBits/elabBits assign two bits per
+// vertex/edge (0 = NoLabel, else a small label).
+func decodeFuzzPattern(nRaw, edges, vlabBits, elabBits uint32) *Pattern {
+	n := int(nRaw%MaxGenVertices) + 1
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if l := (vlabBits >> uint(2*v)) & 3; l != 0 {
+			b.SetVertexLabel(v, graph.Label(l-1))
+		}
+	}
+	idx := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if edges>>uint(idx)&1 != 0 {
+				el := NoLabel
+				if l := (elabBits >> uint(2*(idx%16))) & 3; l != 0 {
+					el = graph.Label(l - 1)
+				}
+				b.AddEdge(u, v, el)
+			}
+			idx++
+		}
+	}
+	return b.Build()
+}
+
+// FuzzPlanCompile asserts that every compilable pattern yields a plan that
+// is connected (every level after the first has a backward constraint),
+// total (every pattern vertex is bound exactly once, with its label and all
+// its backward edges), and restriction-consistent (the symmetry conditions
+// translate one-to-one into per-level bounds that agree with BindingBounds)
+// — and that non-connected patterns are rejected.
+func FuzzPlanCompile(f *testing.F) {
+	f.Add(uint32(2), uint32(7), uint32(0), uint32(0), false)       // triangle
+	f.Add(uint32(3), uint32(63), uint32(0), uint32(0), false)      // K4
+	f.Add(uint32(3), uint32(0b011011), uint32(0), uint32(0), true) // square, induced
+	f.Add(uint32(4), uint32(0b1100101001), uint32(0x1b), uint32(0x2d), false)
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0), false) // single vertex
+	f.Add(uint32(5), uint32(0b101010101010101), uint32(0), uint32(0), true)
+	f.Add(uint32(7), uint32(0xfffffff), uint32(0xaaaa), uint32(0x5555), false) // K8
+	f.Fuzz(func(t *testing.T, nRaw, edges, vlabBits, elabBits uint32, induced bool) {
+		p := decodeFuzzPattern(nRaw, edges, vlabBits, elabBits)
+		compile := NewPlan
+		if induced {
+			compile = NewInducedPlan
+		}
+		pl, err := compile(p)
+		if !p.Connected() {
+			if err == nil {
+				t.Fatalf("disconnected pattern %v compiled", p)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("connected pattern %v failed to compile: %v", p, err)
+		}
+
+		n := p.NumVertices()
+		// Total: every slice covers every level, Order is a permutation.
+		if len(pl.Order) != n || len(pl.PosOf) != n || len(pl.VLabels) != n ||
+			len(pl.Back) != n || len(pl.BackMask) != n ||
+			len(pl.GreaterThan) != n || len(pl.SmallerThan) != n || len(pl.EstCands) != n {
+			t.Fatalf("%v: plan slices not total: %+v", p, pl)
+		}
+		seen := make([]bool, n)
+		for i, v := range pl.Order {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("%v: Order %v is not a permutation", p, pl.Order)
+			}
+			seen[v] = true
+			if pl.PosOf[v] != i {
+				t.Fatalf("%v: PosOf[%d]=%d, want %d", p, v, pl.PosOf[v], i)
+			}
+			if pl.VLabels[i] != p.VertexLabel(v) {
+				t.Fatalf("%v: level %d label %d != vertex %d label %d",
+					p, i, pl.VLabels[i], v, p.VertexLabel(v))
+			}
+		}
+
+		// Connected: every level after the first has backward constraints,
+		// and they are exactly the pattern edges into earlier levels.
+		for i, v := range pl.Order {
+			if i > 0 && len(pl.Back[i]) == 0 {
+				t.Fatalf("%v: level %d has no backward constraint", p, i)
+			}
+			var mask uint32
+			for _, b := range pl.Back[i] {
+				if b.Pos < 0 || b.Pos >= i {
+					t.Fatalf("%v: level %d back-ref to level %d", p, i, b.Pos)
+				}
+				u := pl.Order[b.Pos]
+				if !p.HasEdge(v, u) {
+					t.Fatalf("%v: level %d back-ref to non-edge (%d,%d)", p, i, v, u)
+				}
+				if b.ELabel != p.EdgeLabel(v, u) {
+					t.Fatalf("%v: back-ref label %d != edge label %d", p, b.ELabel, p.EdgeLabel(v, u))
+				}
+				mask |= 1 << uint(b.Pos)
+			}
+			if mask != pl.BackMask[i] {
+				t.Fatalf("%v: BackMask[%d]=%b, want %b", p, i, pl.BackMask[i], mask)
+			}
+			nBack := 0
+			for j := 0; j < i; j++ {
+				if p.HasEdge(v, pl.Order[j]) {
+					nBack++
+				}
+			}
+			if nBack != len(pl.Back[i]) {
+				t.Fatalf("%v: level %d has %d back-refs, pattern has %d backward edges",
+					p, i, len(pl.Back[i]), nBack)
+			}
+		}
+
+		// Restriction consistency: one bound per symmetry condition, each
+		// referring to an earlier level, never both directions for a pair,
+		// and CheckBinding must agree with the BindingBounds window.
+		if got, want := pl.NumRestrictions(), len(SymmetryConditions(p)); got != want {
+			t.Fatalf("%v: %d restriction pairs, want %d (one per symmetry condition)", p, got, want)
+		}
+		for i := 0; i < n; i++ {
+			in := map[int]bool{}
+			for _, e := range pl.GreaterThan[i] {
+				if e < 0 || e >= i || in[e] {
+					t.Fatalf("%v: bad GreaterThan[%d]=%v", p, i, pl.GreaterThan[i])
+				}
+				in[e] = true
+			}
+			for _, e := range pl.SmallerThan[i] {
+				if e < 0 || e >= i || in[e] {
+					t.Fatalf("%v: bad SmallerThan[%d]=%v (or both directions)", p, i, pl.SmallerThan[i])
+				}
+				in[e] = true
+			}
+		}
+		bound := make([]graph.VertexID, n)
+		for j := range bound {
+			bound[j] = graph.VertexID(10 * (j + 1))
+		}
+		for i := 0; i < n; i++ {
+			lo, hi := pl.BindingBounds(i, bound)
+			for v := graph.VertexID(0); v <= graph.VertexID(10*(n+1)); v++ {
+				if inWindow := lo <= v && v <= hi; inWindow != pl.CheckBinding(i, v, bound) {
+					t.Fatalf("%v: level %d vertex %d: window [%d,%d] disagrees with CheckBinding",
+						p, i, v, lo, hi)
+				}
+			}
+		}
+
+		// Cost model sanity and determinism.
+		for i, c := range pl.EstCands {
+			if c <= 0 {
+				t.Fatalf("%v: EstCands[%d]=%g", p, i, c)
+			}
+		}
+		if pl.EstCost <= 0 {
+			t.Fatalf("%v: EstCost=%g", p, pl.EstCost)
+		}
+		again, err := compile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pl.Order {
+			if again.Order[i] != pl.Order[i] {
+				t.Fatalf("%v: recompilation changed order: %v vs %v", p, pl.Order, again.Order)
+			}
+		}
+	})
+}

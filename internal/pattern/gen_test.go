@@ -1,0 +1,131 @@
+package pattern
+
+import (
+	"testing"
+
+	"fractal/internal/graph"
+)
+
+// Number of isomorphism classes of connected simple graphs on k vertices
+// (OEIS A001349).
+var connectedClassCounts = []int{1, 1, 2, 6, 21, 112, 853}
+
+func TestConnectedPatternsCounts(t *testing.T) {
+	for k := 1; k <= len(connectedClassCounts); k++ {
+		ps, err := ConnectedPatterns(k)
+		if err != nil {
+			t.Fatalf("ConnectedPatterns(%d): %v", k, err)
+		}
+		if len(ps) != connectedClassCounts[k-1] {
+			t.Errorf("ConnectedPatterns(%d) = %d classes, want %d", k, len(ps), connectedClassCounts[k-1])
+		}
+	}
+}
+
+func TestConnectedPatternsInvariants(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		ps, err := ConnectedPatterns(k)
+		if err != nil {
+			t.Fatalf("ConnectedPatterns(%d): %v", k, err)
+		}
+		seen := map[string]bool{}
+		prevEdges := -1
+		for i, p := range ps {
+			if p.NumVertices() != k {
+				t.Fatalf("k=%d pattern %d has %d vertices", k, i, p.NumVertices())
+			}
+			if !p.Connected() {
+				t.Errorf("k=%d pattern %d (%v) is disconnected", k, i, p)
+			}
+			code := p.Canonical().Code
+			if seen[code] {
+				t.Errorf("k=%d pattern %d (%v) duplicates an earlier class", k, i, p)
+			}
+			seen[code] = true
+			if p.NumEdges() < prevEdges {
+				t.Errorf("k=%d pattern %d breaks ascending edge-count order", k, i)
+			}
+			prevEdges = p.NumEdges()
+			// Every representative must compile, in both matching modes.
+			if _, err := NewPlan(p); err != nil {
+				t.Errorf("k=%d pattern %d (%v): NewPlan: %v", k, i, p, err)
+			}
+			if _, err := NewInducedPlan(p); err != nil {
+				t.Errorf("k=%d pattern %d (%v): NewInducedPlan: %v", k, i, p, err)
+			}
+		}
+	}
+}
+
+func TestConnectedPatternsDeterministic(t *testing.T) {
+	a, err := ConnectedPatterns(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConnectedPatterns(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Fingerprint() != b[i].Fingerprint() {
+			t.Fatalf("generation order not deterministic at index %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConnectedPatternsBounds(t *testing.T) {
+	if _, err := ConnectedPatterns(0); err == nil {
+		t.Error("ConnectedPatterns(0) should fail")
+	}
+	if _, err := ConnectedPatterns(MaxGenVertices + 1); err == nil {
+		t.Errorf("ConnectedPatterns(%d) should fail", MaxGenVertices+1)
+	}
+}
+
+func TestWithUniformLabels(t *testing.T) {
+	p := House()
+	q := WithUniformLabels(p, graph.Label(3), graph.Label(7))
+	if q.NumVertices() != p.NumVertices() || q.NumEdges() != p.NumEdges() {
+		t.Fatalf("structure changed: %v vs %v", q, p)
+	}
+	for v := 0; v < q.NumVertices(); v++ {
+		if q.VertexLabel(v) != 3 {
+			t.Errorf("vertex %d label = %d, want 3", v, q.VertexLabel(v))
+		}
+		for u := v + 1; u < q.NumVertices(); u++ {
+			if q.HasEdge(v, u) != p.HasEdge(v, u) {
+				t.Errorf("edge (%d,%d) mismatch", v, u)
+			}
+			if q.HasEdge(v, u) && q.EdgeLabel(v, u) != 7 {
+				t.Errorf("edge (%d,%d) label = %d, want 7", v, u, q.EdgeLabel(v, u))
+			}
+		}
+	}
+}
+
+func TestPlanCostModelOrder(t *testing.T) {
+	// The cost model must place high-connectivity vertices early: for the
+	// house pattern (square + roof), every level after the first two should
+	// have at least one backward constraint, and the estimated cost must be
+	// no worse than the greedy fallback's.
+	for _, p := range []*Pattern{Clique(4), House(), ChordalSquare(), Cycle(5)} {
+		pl, err := NewPlan(p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if len(pl.EstCands) != p.NumVertices() {
+			t.Fatalf("%v: EstCands has %d entries", p, len(pl.EstCands))
+		}
+		if pl.EstCost <= 0 {
+			t.Errorf("%v: nonpositive EstCost %g", p, pl.EstCost)
+		}
+		_, greedy := estimate(p, greedyOrder(p))
+		var total float64
+		for _, c := range pl.EstCands {
+			total += c
+		}
+		if total > greedy+1e-9 {
+			t.Errorf("%v: DP order cost %g worse than greedy %g", p, total, greedy)
+		}
+	}
+}

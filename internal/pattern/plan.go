@@ -2,14 +2,17 @@ package pattern
 
 import (
 	"fmt"
+	"math/bits"
+	"strings"
 
 	"fractal/internal/graph"
 )
 
-// Plan is the matching order used by pattern-induced extension (the
+// Plan is the compiled matching order used by pattern-induced extension (the
 // pfractoid of Figure 2): pattern vertices are bound one per extension level
 // in a connected order, and each level carries its adjacency, label, and
-// symmetry-breaking constraints against earlier levels.
+// symmetry-breaking constraints against earlier levels. Plans are immutable
+// after compilation and safe to share across runs and execution cores.
 type Plan struct {
 	P *Pattern
 
@@ -22,12 +25,29 @@ type Plan struct {
 	// Back[i] lists the adjacency constraints of level i against earlier
 	// levels; every level > 0 has at least one (connected order).
 	Back [][]BackRef
+	// BackMask[i] is the bitmask over earlier levels appearing in Back[i].
+	// Induced matching rejects candidates adjacent to any earlier level
+	// outside this mask.
+	BackMask []uint32
 	// GreaterThan[i] lists earlier levels whose bound vertex must be < the
 	// vertex bound at level i (symmetry breaking).
 	GreaterThan [][]int
 	// SmallerThan[i] lists earlier levels whose bound vertex must be > the
 	// vertex bound at level i (symmetry breaking).
 	SmallerThan [][]int
+	// Induced selects vertex-induced matching semantics: a candidate for
+	// level i must be adjacent to exactly the earlier levels in Back[i] —
+	// adjacency to any other bound vertex disqualifies it. Compiled by
+	// NewInducedPlan; used by the multi-plan motif engine, where each
+	// automorphism class of each induced subgraph must surface exactly once.
+	Induced bool
+	// EstCands[i] is the cost model's estimate of the candidate-set size at
+	// level i (level 0 is the symbolic initial domain). EstCost is the
+	// model's total enumeration cost: the sum over levels of the estimated
+	// number of partial embeddings. Both are heuristics over symbolic graph
+	// parameters (estVertices, estDegree), computed for the chosen order.
+	EstCands []float64
+	EstCost  float64
 }
 
 // BackRef is one adjacency constraint: the vertex bound at the current level
@@ -38,10 +58,37 @@ type BackRef struct {
 	ELabel graph.Label
 }
 
-// NewPlan computes a matching plan for p. It returns an error when p is
-// empty or not connected: pattern-induced extension requires a connected
-// template.
-func NewPlan(p *Pattern) (*Plan, error) {
+// Cost-model parameters: a symbolic input graph with estVertices vertices of
+// average degree estDegree. One backward adjacency constraint keeps a
+// candidate with probability estDegree/estVertices, so a level with b
+// backward constraints is estimated at estDegree·(estDegree/estVertices)^(b-1)
+// candidates. The absolute values are arbitrary; only the relative cost of
+// candidate orders matters, and any d ≪ N ranks dense-prefix orders first.
+const (
+	estVertices = 1 << 12
+	estDegree   = 16
+)
+
+// dpMaxVertices bounds the exact subset-DP order search (2^n states); larger
+// patterns fall back to the greedy order. Patterns mined in practice are far
+// below the bound.
+const dpMaxVertices = 15
+
+// NewPlan compiles a matching plan for p: a connected matching order chosen
+// by the cost model (minimum estimated total candidate work over all
+// connected orders, found by subset DP), backward adjacency constraints per
+// level, and the Grochow–Kellis symmetry-breaking conditions translated to
+// per-level bounds. It returns an error when p is empty or not connected:
+// pattern-induced extension requires a connected template.
+func NewPlan(p *Pattern) (*Plan, error) { return compile(p, false) }
+
+// NewInducedPlan compiles a plan with vertex-induced matching semantics: a
+// candidate must be adjacent to exactly the pattern neighbors among earlier
+// levels and non-adjacent to every other bound vertex. Every induced
+// occurrence of p is enumerated exactly once (per automorphism class).
+func NewInducedPlan(p *Pattern) (*Plan, error) { return compile(p, true) }
+
+func compile(p *Pattern, induced bool) (*Plan, error) {
 	n := p.NumVertices()
 	if n == 0 {
 		return nil, fmt.Errorf("pattern: cannot plan empty pattern")
@@ -55,24 +102,20 @@ func NewPlan(p *Pattern) (*Plan, error) {
 		PosOf:       make([]int, n),
 		VLabels:     make([]graph.Label, n),
 		Back:        make([][]BackRef, n),
+		BackMask:    make([]uint32, n),
 		GreaterThan: make([][]int, n),
 		SmallerThan: make([][]int, n),
+		Induced:     induced,
 	}
 	for i := range pl.PosOf {
 		pl.PosOf[i] = -1
 	}
 
-	// Greedy connected order: start at the max-degree vertex; then always
-	// pick the unplaced vertex with the most placed neighbors (densest
-	// backward constraints prune candidates earliest), tie-broken by degree
-	// then by vertex id.
-	start := 0
-	for v := 1; v < n; v++ {
-		if p.Degree(v) > p.Degree(start) {
-			start = v
-		}
+	order := costModelOrder(p)
+	if order == nil {
+		order = greedyOrder(p)
 	}
-	place := func(v int) {
+	for _, v := range order {
 		pos := len(pl.Order)
 		pl.PosOf[v] = pos
 		pl.Order = append(pl.Order, v)
@@ -80,30 +123,9 @@ func NewPlan(p *Pattern) (*Plan, error) {
 		for u := 0; u < n; u++ {
 			if p.HasEdge(v, u) && pl.PosOf[u] >= 0 && pl.PosOf[u] < pos {
 				pl.Back[pos] = append(pl.Back[pos], BackRef{Pos: pl.PosOf[u], ELabel: p.EdgeLabel(v, u)})
+				pl.BackMask[pos] |= 1 << uint(pl.PosOf[u])
 			}
 		}
-	}
-	place(start)
-	for len(pl.Order) < n {
-		bestV, bestBack, bestDeg := -1, -1, -1
-		for v := 0; v < n; v++ {
-			if pl.PosOf[v] >= 0 {
-				continue
-			}
-			back := 0
-			for u := 0; u < n; u++ {
-				if p.HasEdge(v, u) && pl.PosOf[u] >= 0 {
-					back++
-				}
-			}
-			if back == 0 {
-				continue
-			}
-			if back > bestBack || (back == bestBack && p.Degree(v) > bestDeg) {
-				bestV, bestBack, bestDeg = v, back, p.Degree(v)
-			}
-		}
-		place(bestV)
 	}
 
 	// Translate symmetry-breaking conditions into per-level checks.
@@ -117,12 +139,184 @@ func NewPlan(p *Pattern) (*Plan, error) {
 			pl.SmallerThan[pa] = append(pl.SmallerThan[pa], pb)
 		}
 	}
+
+	pl.EstCands, pl.EstCost = estimate(p, pl.Order)
 	return pl, nil
+}
+
+// estimate computes the cost model's per-level candidate estimates and the
+// total cost (sum over levels of estimated partial-embedding counts) for a
+// given order.
+func estimate(p *Pattern, order []int) ([]float64, float64) {
+	cands := make([]float64, len(order))
+	var placed uint32
+	embeddings := 1.0
+	total := 0.0
+	for i, v := range order {
+		cands[i] = levelEstimate(backDegree(p, v, placed))
+		embeddings *= cands[i]
+		total += embeddings
+		placed |= 1 << uint(v)
+	}
+	return cands, total
+}
+
+// backDegree counts the pattern edges from v into the placed set.
+func backDegree(p *Pattern, v int, placed uint32) int {
+	return bits.OnesCount32(p.AdjMask(v) & placed)
+}
+
+// levelEstimate is the modeled candidate-set size of a level with b backward
+// constraints (b = 0 only at level 0, where the domain is all vertices).
+func levelEstimate(b int) float64 {
+	if b == 0 {
+		return estVertices
+	}
+	est := float64(estDegree)
+	for i := 1; i < b; i++ {
+		est *= float64(estDegree) / float64(estVertices)
+	}
+	return est
+}
+
+// costModelOrder finds the connected order minimizing the model's total cost
+// by DP over vertex subsets. For a fixed placed set the per-level backward
+// degrees sum to the edges inside the set, so the estimated number of partial
+// embeddings E(mask) is order-independent and the total cost of an order is
+// the sum of E over its prefix chain — exactly the shortest-path structure
+// subset DP solves. Returns nil when the pattern exceeds dpMaxVertices.
+func costModelOrder(p *Pattern) []int {
+	n := p.NumVertices()
+	if n > dpMaxVertices {
+		return nil
+	}
+	full := uint32(1)<<uint(n) - 1
+	size := int(full) + 1
+	const inf = 1e300
+	cost := make([]float64, size)
+	last := make([]int, size)
+	for i := range cost {
+		cost[i] = inf
+		last[i] = -1
+	}
+	// E(mask): estimated partial embeddings after binding exactly mask, in
+	// any connected order (order-independent, see above).
+	embeddings := func(mask uint32) float64 {
+		e := 1.0
+		var placed uint32
+		for m := mask; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros32(m)
+			e *= levelEstimate(backDegree(p, v, placed))
+			placed |= 1 << uint(v)
+		}
+		return e
+	}
+	for v := 0; v < n; v++ {
+		m := uint32(1) << uint(v)
+		cost[m] = embeddings(m)
+		last[m] = v
+	}
+	// Masks in increasing popcount order via plain increasing value: every
+	// proper subset of mask is numerically smaller, so a forward sweep sees
+	// predecessors first.
+	for mask := uint32(1); mask <= full; mask++ {
+		if cost[mask] == inf || mask == full {
+			continue
+		}
+		for rest := ^mask & full; rest != 0; rest &= rest - 1 {
+			v := bits.TrailingZeros32(rest)
+			if p.AdjMask(v)&mask == 0 {
+				continue // disconnected extension
+			}
+			next := mask | 1<<uint(v)
+			c := cost[mask] + embeddings(next)
+			// Deterministic tie-breaking: prefer the higher-degree vertex,
+			// then the smaller vertex id, so equal-cost plans are stable
+			// across runs and Go versions.
+			if c < cost[next] || (c == cost[next] && betterLast(p, v, last[next])) {
+				cost[next] = c
+				last[next] = v
+			}
+		}
+	}
+	if last[full] < 0 {
+		return nil // unreachable for connected p, but fall back safely
+	}
+	order := make([]int, n)
+	mask := full
+	for i := n - 1; i >= 0; i-- {
+		v := last[mask]
+		order[i] = v
+		mask &^= 1 << uint(v)
+	}
+	return order
+}
+
+// betterLast reports whether v is preferred over cur as the last-placed
+// vertex of a tied-cost prefix.
+func betterLast(p *Pattern, v, cur int) bool {
+	if cur < 0 {
+		return true
+	}
+	if p.Degree(v) != p.Degree(cur) {
+		return p.Degree(v) < p.Degree(cur) // keep high-degree vertices early
+	}
+	return v > cur // place small ids early
+}
+
+// greedyOrder is the pre-cost-model order, kept as the fallback for patterns
+// beyond the DP bound: start at the max-degree vertex; then always pick the
+// unplaced vertex with the most placed neighbors (densest backward
+// constraints prune candidates earliest), tie-broken by degree then by
+// vertex id.
+func greedyOrder(p *Pattern) []int {
+	n := p.NumVertices()
+	posOf := make([]int, n)
+	for i := range posOf {
+		posOf[i] = -1
+	}
+	order := make([]int, 0, n)
+	place := func(v int) {
+		posOf[v] = len(order)
+		order = append(order, v)
+	}
+	start := 0
+	for v := 1; v < n; v++ {
+		if p.Degree(v) > p.Degree(start) {
+			start = v
+		}
+	}
+	place(start)
+	for len(order) < n {
+		bestV, bestBack, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if posOf[v] >= 0 {
+				continue
+			}
+			back := 0
+			for u := 0; u < n; u++ {
+				if p.HasEdge(v, u) && posOf[u] >= 0 {
+					back++
+				}
+			}
+			if back == 0 {
+				continue
+			}
+			if back > bestBack || (back == bestBack && p.Degree(v) > bestDeg) {
+				bestV, bestBack, bestDeg = v, back, p.Degree(v)
+			}
+		}
+		place(bestV)
+	}
+	return order
 }
 
 // CheckBinding reports whether binding graph vertex v at level pos is
 // consistent with the plan's symmetry-breaking conditions, given the
-// bindings of earlier levels.
+// bindings of earlier levels. The extension kernels additionally push these
+// bounds into candidate generation (range clamping before the intersection),
+// so for kernel-produced candidates the check is already satisfied; it
+// remains the contract for external engines driving a Plan directly.
 func (pl *Plan) CheckBinding(pos int, v graph.VertexID, bound []graph.VertexID) bool {
 	for _, e := range pl.GreaterThan[pos] {
 		if v <= bound[e] {
@@ -135,4 +329,95 @@ func (pl *Plan) CheckBinding(pos int, v graph.VertexID, bound []graph.VertexID) 
 		}
 	}
 	return true
+}
+
+// BindingBounds returns the half-open vertex-id window [lo, hi] implied by
+// the symmetry-breaking conditions of level pos under the given earlier
+// bindings: any candidate outside the window violates a condition, and any
+// candidate inside satisfies all of them. Kernels clamp candidate ranges
+// with it before intersecting, so symmetry breaking prunes work rather than
+// output. An empty window has lo > hi.
+func (pl *Plan) BindingBounds(pos int, bound []graph.VertexID) (lo, hi graph.VertexID) {
+	lo, hi = 0, graph.VertexID(1<<31-1)
+	for _, e := range pl.GreaterThan[pos] {
+		if b := bound[e] + 1; b > lo {
+			lo = b
+		}
+	}
+	for _, e := range pl.SmallerThan[pos] {
+		if b := bound[e] - 1; b < hi {
+			hi = b
+		}
+	}
+	return lo, hi
+}
+
+// NumRestrictions returns the total number of symmetry-breaking restriction
+// pairs compiled into the plan.
+func (pl *Plan) NumRestrictions() int {
+	n := 0
+	for i := range pl.GreaterThan {
+		n += len(pl.GreaterThan[i]) + len(pl.SmallerThan[i])
+	}
+	return n
+}
+
+// Explain renders the compiled plan for humans: the matching order with each
+// level's backward adjacency (and label) constraints, the symmetry-breaking
+// restriction pairs, the matching semantics, and the cost model's estimates.
+// The output is stable for a given plan and intended for -explain style
+// tooling, logs, and tests.
+func (pl *Plan) Explain() string {
+	var sb strings.Builder
+	mode := "edge-matched"
+	if pl.Induced {
+		mode = "induced"
+	}
+	fmt.Fprintf(&sb, "plan: %d levels, %s, %d restriction pairs, est cost %.3g\n",
+		len(pl.Order), mode, pl.NumRestrictions(), pl.EstCost)
+	fmt.Fprintf(&sb, "pattern: %v\n", pl.P)
+	for i, v := range pl.Order {
+		fmt.Fprintf(&sb, "  L%d: bind u%d", i, v)
+		if pl.VLabels[i] != NoLabel {
+			fmt.Fprintf(&sb, " label=%d", pl.VLabels[i])
+		}
+		if i == 0 {
+			sb.WriteString("  domain=V(G)")
+		} else {
+			sb.WriteString("  adj=[")
+			for j, b := range pl.Back[i] {
+				if j > 0 {
+					sb.WriteByte(' ')
+				}
+				fmt.Fprintf(&sb, "L%d", b.Pos)
+				if b.ELabel != NoLabel {
+					fmt.Fprintf(&sb, ":%d", b.ELabel)
+				}
+			}
+			sb.WriteByte(']')
+			if pl.Induced {
+				nonAdj := (uint32(1)<<uint(i) - 1) &^ pl.BackMask[i]
+				if nonAdj != 0 {
+					sb.WriteString(" nonadj=[")
+					first := true
+					for m := nonAdj; m != 0; m &= m - 1 {
+						if !first {
+							sb.WriteByte(' ')
+						}
+						first = false
+						fmt.Fprintf(&sb, "L%d", bits.TrailingZeros32(m))
+					}
+					sb.WriteByte(']')
+				}
+			}
+		}
+		for _, e := range pl.GreaterThan[i] {
+			fmt.Fprintf(&sb, " v>L%d", e)
+		}
+		for _, e := range pl.SmallerThan[i] {
+			fmt.Fprintf(&sb, " v<L%d", e)
+		}
+		fmt.Fprintf(&sb, "  est %.3g\n", pl.EstCands[i])
+	}
+	return sb.String()
 }

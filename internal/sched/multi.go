@@ -1,0 +1,54 @@
+package sched
+
+import "fractal/internal/rpc"
+
+// CombineReports merges the observability records of several runs executed
+// back to back on the same runtime — the multi-plan motif engine runs one
+// job per compiled pattern plan — into a single record: step reports
+// concatenate in job order, wall time and transport traffic sum, and trace
+// journals append (TraceDropped likewise sums). The configuration echoes
+// (Workers, CoresPerWorker, WS) come from the first non-nil report, since a
+// runtime's configuration is fixed for its lifetime. Nil reports are
+// skipped; all-nil (or empty) input yields nil.
+func CombineReports(reps ...*RunReport) *RunReport {
+	var out *RunReport
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			out = &RunReport{
+				Workers:        r.Workers,
+				CoresPerWorker: r.CoresPerWorker,
+				WS:             r.WS,
+			}
+		}
+		out.Wall += r.Wall
+		out.Steps = append(out.Steps, r.Steps...)
+		out.Transport = out.Transport.add(r.Transport)
+		out.Trace = append(out.Trace, r.Trace...)
+		out.TraceDropped += r.TraceDropped
+	}
+	return out
+}
+
+// add returns the per-node sum of two transport snapshots, padding the
+// shorter worker list.
+func (t TransportStats) add(o TransportStats) TransportStats {
+	out := TransportStats{Master: t.Master.Add(o.Master)}
+	n := len(t.Workers)
+	if len(o.Workers) > n {
+		n = len(o.Workers)
+	}
+	for i := 0; i < n; i++ {
+		var w rpc.Stats
+		if i < len(t.Workers) {
+			w = t.Workers[i]
+		}
+		if i < len(o.Workers) {
+			w = w.Add(o.Workers[i])
+		}
+		out.Workers = append(out.Workers, w)
+	}
+	return out
+}

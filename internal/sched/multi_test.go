@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"fractal/internal/metrics"
+	"fractal/internal/rpc"
+)
+
+func TestCombineReports(t *testing.T) {
+	a := &RunReport{
+		Workers: 2, CoresPerWorker: 4, WS: "both",
+		Wall:  3 * time.Second,
+		Steps: []StepReport{{EC: 10}, {EC: 20}},
+		Transport: TransportStats{
+			Master:  rpc.Stats{MsgsSent: 5, BytesSent: 100},
+			Workers: []rpc.Stats{{MsgsRecv: 3}, {MsgsRecv: 4}},
+		},
+		Trace:        []metrics.TraceEvent{{Step: 0}},
+		TraceDropped: 1,
+	}
+	b := &RunReport{
+		Workers: 2, CoresPerWorker: 4, WS: "both",
+		Wall:  2 * time.Second,
+		Steps: []StepReport{{EC: 30}},
+		Transport: TransportStats{
+			Master:  rpc.Stats{MsgsSent: 7, BytesSent: 50},
+			Workers: []rpc.Stats{{MsgsRecv: 1}},
+		},
+		Trace:        []metrics.TraceEvent{{Step: 0}, {Step: 1}},
+		TraceDropped: 2,
+	}
+
+	c := CombineReports(a, nil, b)
+	if c == nil {
+		t.Fatal("nil combined report")
+	}
+	if c.Workers != 2 || c.CoresPerWorker != 4 || c.WS != "both" {
+		t.Errorf("configuration echo lost: %+v", c)
+	}
+	if c.Wall != 5*time.Second {
+		t.Errorf("Wall = %v, want 5s", c.Wall)
+	}
+	if len(c.Steps) != 3 || c.Steps[0].EC != 10 || c.Steps[2].EC != 30 {
+		t.Errorf("Steps = %+v", c.Steps)
+	}
+	if c.Transport.Master.MsgsSent != 12 || c.Transport.Master.BytesSent != 150 {
+		t.Errorf("master transport = %+v", c.Transport.Master)
+	}
+	if len(c.Transport.Workers) != 2 ||
+		c.Transport.Workers[0].MsgsRecv != 4 || c.Transport.Workers[1].MsgsRecv != 4 {
+		t.Errorf("worker transport = %+v", c.Transport.Workers)
+	}
+	if len(c.Trace) != 3 || c.TraceDropped != 3 {
+		t.Errorf("trace merge: %d events, dropped %d", len(c.Trace), c.TraceDropped)
+	}
+
+	if CombineReports() != nil || CombineReports(nil, nil) != nil {
+		t.Error("empty/all-nil input must yield nil")
+	}
+
+	// Inputs must not be mutated.
+	if a.Wall != 3*time.Second || len(a.Steps) != 2 || a.Transport.Master.MsgsSent != 5 {
+		t.Errorf("input report mutated: %+v", a)
+	}
+}

@@ -286,28 +286,36 @@ func TestMultiStepAggregationFilter(t *testing.T) {
 }
 
 func TestWorkStealingHappensOnSkewedInput(t *testing.T) {
+	// Whether a steal actually lands before the job drains depends on OS
+	// scheduling (on a single-CPU host one goroutine can occasionally
+	// finish the whole star before a thief wakes), so the steal
+	// observation is retried; the count must be exact on every attempt.
 	g := starGraph(600)
 	rt, err := New(Config{Workers: 2, CoresPerWorker: 2, WS: WSBoth})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	var counter atomic.Int64
-	res, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 3, &counter))
-	if err != nil {
-		t.Fatal(err)
-	}
 	want := refCount(g, subgraph.VertexInduced, nil, 3)
-	if counter.Load() != want {
-		t.Fatalf("count=%d, want %d", counter.Load(), want)
+	for attempt := 0; attempt < 5; attempt++ {
+		var counter atomic.Int64
+		res, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 3, &counter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counter.Load() != want {
+			t.Fatalf("count=%d, want %d", counter.Load(), want)
+		}
+		var steals int64
+		for _, s := range res.Steps {
+			steals += s.StealsInternal + s.StealsExternal
+		}
+		if steals > 0 {
+			return
+		}
+		t.Logf("attempt %d: no steals observed, retrying", attempt)
 	}
-	var steals int64
-	for _, s := range res.Steps {
-		steals += s.StealsInternal + s.StealsExternal
-	}
-	if steals == 0 {
-		t.Error("no steals on a maximally skewed input")
-	}
+	t.Error("no steals on a maximally skewed input in 5 attempts")
 }
 
 func TestAggFilterWithPrecomputedEnv(t *testing.T) {

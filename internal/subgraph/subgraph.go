@@ -17,6 +17,7 @@ package subgraph
 
 import (
 	"fmt"
+	"math/bits"
 
 	"fractal/internal/graph"
 	"fractal/internal/pattern"
@@ -492,10 +493,17 @@ func (e *Embedding) edgeExtensions(dst []Word) ([]Word, int) {
 // patternExtensions computes the candidates of level k as a k-way
 // intersection of the backward anchors' adjacency lists, smallest anchor
 // first, with the per-anchor edge-label constraints fused into the merge.
-// Candidates emerge sorted and duplicate-free (parallel edges collapse as
-// duplicate runs inside the kernels), so no final sort is needed; the
-// member, vertex-label, and symmetry-breaking filters run over the
-// intersection's survivors, whose count is the reported extension cost.
+// The plan's symmetry-breaking conditions are pushed down into candidate
+// generation: the vertex-id window they imply (Plan.BindingBounds) clamps
+// the first anchor's adjacency range before any intersection work, so
+// symmetry breaking prunes candidate generation rather than filtering its
+// output. For induced plans the non-adjacency constraint is likewise fused:
+// the adjacency of every bound non-anchor vertex is subtracted from the
+// candidate set before it counts as tested. Candidates emerge sorted and
+// duplicate-free (parallel edges collapse as duplicate runs inside the
+// kernels), so no final sort is needed; only the cheap member and
+// vertex-label filters run over the survivors, whose count is the reported
+// extension cost.
 func (e *Embedding) patternExtensions(dst []Word) ([]Word, int) {
 	k := len(e.words)
 	if k >= len(e.plan.Order) {
@@ -503,6 +511,10 @@ func (e *Embedding) patternExtensions(dst []Word) ([]Word, int) {
 	}
 	back := e.plan.Back[k]
 	if len(back) == 0 {
+		return dst, 0
+	}
+	lo, hi := e.plan.BindingBounds(k, e.vertices)
+	if lo > hi {
 		return dst, 0
 	}
 	// Order anchors by ascending degree so the intersection starts from the
@@ -514,7 +526,7 @@ func (e *Embedding) patternExtensions(dst []Word) ([]Word, int) {
 			ord[j], ord[j-1] = ord[j-1], ord[j]
 		}
 	}
-	cur := e.anchorCandidates(e.vertices[ord[0].Pos], ord[0].ELabel, e.pbuf0[:0])
+	cur := e.anchorCandidates(e.vertices[ord[0].Pos], ord[0].ELabel, lo, hi, e.pbuf0[:0])
 	buf := e.pbuf1
 	for _, b := range ord[1:] {
 		if len(cur) == 0 {
@@ -522,6 +534,17 @@ func (e *Embedding) patternExtensions(dst []Word) ([]Word, int) {
 		}
 		nxt := e.intersectAdj(cur, e.vertices[b.Pos], b.ELabel, buf[:0])
 		cur, buf = nxt, cur
+	}
+	if e.plan.Induced {
+		// Non-adjacency is part of candidate generation for induced plans:
+		// each non-anchor bound vertex's adjacency is subtracted from the
+		// candidate set with the same merge/gallop kernels, so extensions
+		// that would violate induced semantics never surface as tested work.
+		nonAdj := (uint32(1)<<uint(k) - 1) &^ e.plan.BackMask[k]
+		for m := nonAdj; m != 0 && len(cur) > 0; m &= m - 1 {
+			nxt := e.subtractAdj(cur, e.vertices[bits.TrailingZeros32(m)], buf[:0])
+			cur, buf = nxt, cur
+		}
 	}
 	e.pbuf0, e.pbuf1 = cur, buf // retain grown buffers for reuse
 	tested := len(cur)
@@ -534,21 +557,23 @@ func (e *Embedding) patternExtensions(dst []Word) ([]Word, int) {
 		if want != pattern.NoLabel && !graph.ContainsLabel(e.g.VertexLabels(u), want) {
 			continue
 		}
-		if !e.plan.CheckBinding(k, u, e.vertices) {
-			continue
-		}
+		// Symmetry conditions are satisfied by construction (the [lo, hi]
+		// clamp implements CheckBinding exactly); the kernel relies on that
+		// rather than re-checking per candidate.
 		dst = append(dst, w)
 	}
 	return dst, tested
 }
 
-// anchorCandidates appends the distinct neighbors of av connected by an
-// edge whose label matches elabel (NoLabel = any) to dst. Adjacency runs
-// are sorted, so the result is sorted and duplicate-free.
-func (e *Embedding) anchorCandidates(av graph.VertexID, elabel graph.Label, dst []Word) []Word {
+// anchorCandidates appends the distinct neighbors of av inside the vertex-id
+// window [lo, hi] connected by an edge whose label matches elabel (NoLabel =
+// any) to dst. Adjacency runs are sorted, so the scan gallops to the first
+// in-window neighbor, stops at the first beyond it, and the result is sorted
+// and duplicate-free.
+func (e *Embedding) anchorCandidates(av graph.VertexID, elabel graph.Label, lo, hi graph.VertexID, dst []Word) []Word {
 	nbr := e.g.Neighbors(av)
 	inc := e.g.IncidentEdges(av)
-	for j := 0; j < len(nbr); {
+	for j := graph.Gallop(nbr, lo); j < len(nbr) && nbr[j] <= hi; {
 		u := nbr[j]
 		if e.runMatches(nbr, inc, j, elabel) {
 			dst = append(dst, Word(u))
@@ -556,6 +581,38 @@ func (e *Embedding) anchorCandidates(av graph.VertexID, elabel graph.Label, dst 
 		for j < len(nbr) && nbr[j] == u {
 			j++
 		}
+	}
+	return dst
+}
+
+// subtractAdj appends to dst the candidates from the sorted duplicate-free
+// list cands that are not adjacent to v under any edge label (induced
+// non-adjacency is structural, so labels are irrelevant). Galloping is used
+// when the adjacency dwarfs the candidate list.
+func (e *Embedding) subtractAdj(cands []Word, v graph.VertexID, dst []Word) []Word {
+	nbr := e.g.Neighbors(v)
+	if len(nbr) >= graph.GallopRatio*len(cands) {
+		j := 0
+		for _, w := range cands {
+			u := graph.VertexID(w)
+			j += graph.Gallop(nbr[j:], u)
+			if j < len(nbr) && nbr[j] == u {
+				continue
+			}
+			dst = append(dst, w)
+		}
+		return dst
+	}
+	j := 0
+	for _, w := range cands {
+		u := graph.VertexID(w)
+		for j < len(nbr) && nbr[j] < u {
+			j++
+		}
+		if j < len(nbr) && nbr[j] == u {
+			continue
+		}
+		dst = append(dst, w)
 	}
 	return dst
 }

@@ -1,7 +1,22 @@
-.PHONY: check test build vet bench bench-micro bench-agg bench-plan fuzz-agg fuzz-plan
+.PHONY: check check-race chaos test build vet bench bench-micro bench-agg bench-plan fuzz-agg fuzz-plan
 
 check:
 	./scripts/check.sh
+
+# Full test suite under the race detector. CI runs this as a dedicated job
+# so the main check stays fast; the retry/fault-injection paths are the
+# heaviest concurrency in the tree and must stay race-clean.
+check-race:
+	go test -race ./...
+
+# Seeded fault-schedule smoke: the chaos differential suite (worker severed
+# at step start / during quiescence / during aggregation ship; results must
+# match the fault-free baselines bit for bit) over a larger seed pool than
+# the default `go test` run. Runtime stays bounded: each seed is one small
+# application run with sub-second loss-detection timeouts.
+CHAOS_SEEDS ?= 6
+chaos:
+	FRACTAL_CHAOS_SEEDS=$(CHAOS_SEEDS) go test -run 'TestChaos' -count=1 ./internal/apps/
 
 vet:
 	go vet ./...

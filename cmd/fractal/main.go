@@ -79,6 +79,8 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 		engine     = flag.String("engine", "plan", "motifs/cliques engine: plan (compiled pattern plans) or canon (canonical checks)")
 		explain    = flag.Bool("explain", false, "print the compiled plan(s) for the selected app and exit (no graph needed)")
+		retries    = flag.Int("retries", 0, "re-execute a step up to n times after a worker loss (0: a loss fails the run)")
+		retryWait  = flag.Duration("retry-backoff", 0, "pause between step retry attempts (default 5ms)")
 	)
 	flag.Parse()
 	if *engine != "plan" && *engine != "canon" {
@@ -105,7 +107,10 @@ func main() {
 		fmt.Printf("pprof/expvar listening on http://%s/debug/pprof\n", *pprofAddr)
 	}
 
-	cfg := fractal.Config{Workers: *workers, CoresPerWorker: *cores, UseTCP: *useTCP, Trace: *traceOn}
+	cfg := fractal.Config{
+		Workers: *workers, CoresPerWorker: *cores, UseTCP: *useTCP, Trace: *traceOn,
+		StepRetries: *retries, RetryBackoff: *retryWait,
+	}
 	switch *wsMode {
 	case "none":
 		cfg.WS = fractal.WSNone

@@ -34,6 +34,7 @@ import (
 	"fractal/internal/graph"
 	"fractal/internal/metrics"
 	"fractal/internal/pattern"
+	"fractal/internal/rpc"
 	"fractal/internal/sched"
 	"fractal/internal/subgraph"
 )
@@ -126,8 +127,20 @@ type MetricsSnapshot = metrics.Snapshot
 type TraceEvent = metrics.TraceEvent
 
 // WorkerLostError re-exports the typed error returned when a worker becomes
-// unreachable (or silent) mid-job; match it with errors.As.
+// unreachable (or silent) mid-job; match it with errors.As. With
+// WithStepRetries enabled the runtime retries the step instead, and this
+// error only surfaces wrapped in a RetryExhaustedError.
 type WorkerLostError = sched.WorkerLostError
+
+// RetryExhaustedError re-exports the typed error returned when a step kept
+// losing workers until the WithStepRetries budget ran out; its Unwrap chain
+// reaches the last WorkerLostError.
+type RetryExhaustedError = sched.RetryExhaustedError
+
+// FaultInjector re-exports the transport fault-injection hook (see
+// rpc.Script for the scripted implementation); install one with
+// WithFaultInjector. Test machinery — production runs leave it unset.
+type FaultInjector = rpc.FaultInjector
 
 // AggregationError re-exports the typed error returned when a step's
 // aggregation partials could not be merged, encoded, shipped, or decoded;
@@ -174,6 +187,26 @@ func WithStepTimeout(d time.Duration) Option { return func(c *Config) { c.StepTi
 // WithWorkerTimeout sets how long the master waits for a silent worker
 // before failing the job with a *sched.WorkerLostError.
 func WithWorkerTimeout(d time.Duration) Option { return func(c *Config) { c.WorkerTimeout = d } }
+
+// WithStepRetries makes runs survive worker loss: on a WorkerLostError the
+// master discards the failed attempt's partials, excludes the lost worker
+// for the rest of the job, and re-executes the step from scratch over the
+// survivors, up to n retries per step. Results are bit-identical to
+// fault-free runs — exactly one attempt's aggregations are ever committed.
+// When the budget runs out the job fails with a *RetryExhaustedError. Note
+// that Visit callbacks are at-least-once under retries (a failed attempt's
+// visits cannot be unrun); counting and aggregation stay exact.
+func WithStepRetries(n int) Option { return func(c *Config) { c.StepRetries = n } }
+
+// WithRetryBackoff sets the pause between a worker-loss failure and the next
+// attempt of the step (default 5ms). Only meaningful with WithStepRetries.
+func WithRetryBackoff(d time.Duration) Option { return func(c *Config) { c.RetryBackoff = d } }
+
+// WithFaultInjector installs a transport fault injector (drop, delay, or
+// sever scheduled by an rpc.Script): every message send of the master and
+// the workers consults it first. This is the chaos-testing harness behind
+// the retry machinery's differential tests.
+func WithFaultInjector(inj FaultInjector) Option { return func(c *Config) { c.FaultInjector = inj } }
 
 // WithTrace enables the structured trace journal: every run records step
 // start/end, quiescence rounds, steal attempts and outcomes, and

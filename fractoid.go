@@ -90,7 +90,11 @@ func (f *Fractoid) Explore(n int) *Fractoid {
 
 // Visit appends a primitive that streams each embedding reaching this point
 // of the workflow to fn. fn runs concurrently on all cores and must be safe
-// for that.
+// for that. Under WithStepRetries, visits are at-least-once: a step attempt
+// abandoned after a worker loss may already have streamed embeddings the
+// retry streams again (side effects cannot be unrun the way aggregation
+// partials are discarded). Use Aggregate — or CountCtx, which switches to an
+// aggregation internally — when exactly-once matters.
 func (f *Fractoid) Visit(fn func(*Subgraph)) *Fractoid {
 	return f.derive(step.VisitP(fn))
 }
@@ -227,11 +231,37 @@ func (f *Fractoid) Subgraphs(visit func(*Subgraph)) (*Result, error) {
 	return f.SubgraphsCtx(context.Background(), visit)
 }
 
+// countAggName is the reserved aggregation CountCtx rides under step
+// retries; the NUL prefix keeps it out of any user namespace.
+const countAggName = "\x00fractal.count"
+
 // CountCtx executes the workflow and returns the number of embeddings that
 // reach the end of it. On cancellation the count covers the embeddings
 // processed before the cancellation took effect (a partial count, returned
 // with the error).
+//
+// The count stays exact under WithStepRetries: with retries enabled it is
+// computed as an aggregation, whose attempt-tagged partials the runtime
+// discards wholesale when a worker loss fails an attempt — a plain visiting
+// counter would keep the failed attempt's increments and double-count. The
+// price is that a failed run reports 0 rather than a partial count.
 func (f *Fractoid) CountCtx(ctx context.Context) (int64, *Result, error) {
+	if f.err == nil && f.fg.ctx.rt.Config().StepRetries > 0 {
+		nf := Aggregate(f, countAggName,
+			func(*Subgraph) uint8 { return 0 },
+			func(*Subgraph) int64 { return 1 },
+			func(a, b int64) int64 { return a + b }, nil)
+		res, err := nf.run(ctx)
+		var n int64
+		if res != nil && err == nil {
+			if a, aerr := agg.Typed[uint8, int64](res.Aggregations, countAggName); aerr == nil {
+				for _, v := range a.Entries() {
+					n = v
+				}
+			}
+		}
+		return n, res, err
+	}
 	var n atomic.Int64
 	res, err := f.Visit(func(*Subgraph) { n.Add(1) }).run(ctx)
 	return n.Load(), res, err

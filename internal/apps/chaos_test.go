@@ -1,0 +1,210 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"fractal"
+	"fractal/internal/rpc"
+	"fractal/internal/sched"
+	"fractal/internal/workload"
+)
+
+// Chaos differential suite: the application kernels run under seeded-random
+// fault schedules — a worker severed at step start, during quiescence
+// polling, or while shipping its aggregation partials — and their results
+// must be bit-identical to the fault-free baselines. This is the end-to-end
+// guarantee behind step retry: exactly one attempt's partials ever commit,
+// so injected losses change wall time and the report's loss counters, never
+// counts or supports.
+//
+// FRACTAL_CHAOS_SEEDS overrides the number of seeds (default 3); `make
+// chaos` raises it.
+
+func chaosSeeds(t *testing.T) int {
+	t.Helper()
+	n := 3
+	if s := os.Getenv("FRACTAL_CHAOS_SEEDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			t.Fatalf("FRACTAL_CHAOS_SEEDS=%q: want a positive integer", s)
+		}
+		n = v
+	}
+	return n
+}
+
+const chaosWorkers = 3
+
+// chaosSchedule derives one fault schedule from rng: a victim worker and the
+// protocol moment that kills it. multiStep widens the occurrence window for
+// apps that run several jobs/steps, so later steps get hit too.
+func chaosSchedule(rng *rand.Rand, multiStep bool) (*rpc.Script, string) {
+	victim := rpc.NodeID(rng.Intn(chaosWorkers))
+	after := 0
+	if multiStep {
+		after = rng.Intn(2)
+	}
+	switch rng.Intn(3) {
+	case 0: // the victim never receives its step start
+		return rpc.NewScript(rpc.SeverRule(rpc.Master, victim, sched.KindStepStart, after, victim)),
+			fmt.Sprintf("sever worker %d at step start %d", victim, after)
+	case 1: // the victim goes silent during quiescence polling
+		return rpc.NewScript(rpc.SeverRule(victim, rpc.Master, sched.KindStatusReport, after, victim)),
+			fmt.Sprintf("sever worker %d at status report %d", victim, after)
+	default: // the victim dies shipping its aggregation partials
+		return rpc.NewScript(rpc.SeverRule(victim, rpc.Master, sched.KindAggData, after, victim)),
+			fmt.Sprintf("sever worker %d at aggregation ship %d", victim, after)
+	}
+}
+
+// chaosCtx builds a context with the retry budget and short loss-detection
+// timeout the chaos runs rely on. A nil script yields the fault-free
+// baseline configuration (identical apart from the injector, so any result
+// difference is attributable to the faults alone).
+func chaosCtx(t *testing.T, script *rpc.Script, extra ...fractal.Option) *fractal.Context {
+	t.Helper()
+	opts := []fractal.Option{
+		fractal.WithWorkers(chaosWorkers), fractal.WithCores(2),
+		fractal.WithStepRetries(3), fractal.WithRetryBackoff(time.Millisecond),
+		fractal.WithWorkerTimeout(400 * time.Millisecond),
+	}
+	if script != nil {
+		opts = append(opts, fractal.WithFaultInjector(script))
+	}
+	ctx, err := fractal.NewContext(append(opts, extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctx.Close)
+	return ctx
+}
+
+// requireLossObserved asserts the run actually exercised the fault path: if
+// the script intervened, the report must account for at least one lost
+// worker (and with a severed participant, at least one retry).
+func requireLossObserved(t *testing.T, script *rpc.Script, res *fractal.Result, label string) {
+	t.Helper()
+	if script.Stats().Fired == 0 {
+		return // the schedule never triggered (e.g. window past the app's sends)
+	}
+	if res == nil || res.Report == nil {
+		t.Fatalf("%s: no report to verify loss accounting", label)
+	}
+	if res.Report.WorkersLost == 0 {
+		t.Errorf("%s: script fired but report counts no lost workers", label)
+	}
+	if res.Report.Retries == 0 {
+		t.Errorf("%s: script fired but report counts no retries", label)
+	}
+}
+
+func TestChaosCliques(t *testing.T) {
+	raw := workload.ErdosRenyi("chaos-er", 60, 220, 1, 31)
+	base := chaosCtx(t, nil)
+	want, _, err := Cliques(base, base.FromGraph(raw), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := 1; seed <= chaosSeeds(t); seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		script, label := chaosSchedule(rng, false)
+		ctx := chaosCtx(t, script)
+		got, res, err := Cliques(ctx, ctx.FromGraph(raw), 4)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, label, err)
+		}
+		if got != want {
+			t.Errorf("seed %d (%s): cliques=%d, want %d", seed, label, got, want)
+		}
+		requireLossObserved(t, script, res, fmt.Sprintf("seed %d (%s)", seed, label))
+	}
+}
+
+func TestChaosMotifs(t *testing.T) {
+	raw := workload.ErdosRenyi("chaos-er-ml", 60, 220, 3, 32)
+	base := chaosCtx(t, nil)
+	want, _, err := Motifs(base, base.FromGraph(raw), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := 1; seed <= chaosSeeds(t); seed++ {
+		rng := rand.New(rand.NewSource(int64(100 + seed)))
+		script, label := chaosSchedule(rng, true)
+		ctx := chaosCtx(t, script)
+		got, res, err := Motifs(ctx, ctx.FromGraph(raw), 3)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, label, err)
+		}
+		motifCountsEqual(t, fmt.Sprintf("chaos seed %d (%s)", seed, label), 3, got, want)
+		requireLossObserved(t, script, res, fmt.Sprintf("seed %d (%s)", seed, label))
+	}
+}
+
+func TestChaosFSM(t *testing.T) {
+	raw := workload.Community("chaos-c", 6, 15, 6, 0.8, 4, 33)
+	base := chaosCtx(t, nil)
+	want, err := FSM(base, base.FromGraph(raw), 8, FSMOptions{MaxEdges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Frequent) == 0 {
+		t.Fatal("degenerate FSM baseline: nothing frequent")
+	}
+	for seed := 1; seed <= chaosSeeds(t); seed++ {
+		rng := rand.New(rand.NewSource(int64(200 + seed)))
+		script, label := chaosSchedule(rng, true)
+		ctx := chaosCtx(t, script)
+		got, err := FSM(ctx, ctx.FromGraph(raw), 8, FSMOptions{MaxEdges: 2})
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, label, err)
+		}
+		if len(got.Frequent) != len(want.Frequent) {
+			t.Errorf("seed %d (%s): %d frequent patterns, want %d",
+				seed, label, len(got.Frequent), len(want.Frequent))
+		}
+		for code, ds := range want.Frequent {
+			gds, ok := got.Frequent[code]
+			if !ok {
+				t.Errorf("seed %d (%s): pattern %q lost under faults", seed, label, code)
+				continue
+			}
+			if gds.Support() != ds.Support() {
+				t.Errorf("seed %d (%s): pattern %q support %d, want %d",
+					seed, label, code, gds.Support(), ds.Support())
+			}
+		}
+		for i, n := range want.PerLevel {
+			if i >= len(got.PerLevel) || got.PerLevel[i] != n {
+				t.Errorf("seed %d (%s): PerLevel=%v, want %v", seed, label, got.PerLevel, want.PerLevel)
+				break
+			}
+		}
+	}
+}
+
+// TestChaosCliquesTCP repeats one sever schedule over the TCP transport: the
+// injector sits in front of the real sockets, so retry must recover there
+// exactly as over loopback mailboxes.
+func TestChaosCliquesTCP(t *testing.T) {
+	raw := workload.ErdosRenyi("chaos-er-tcp", 50, 180, 1, 34)
+	base := chaosCtx(t, nil)
+	want, _, err := Cliques(base, base.FromGraph(raw), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := rpc.NewScript(rpc.SeverRule(1, rpc.Master, sched.KindStatusReport, 0, 1))
+	ctx := chaosCtx(t, script, fractal.WithTCP())
+	got, res, err := Cliques(ctx, ctx.FromGraph(raw), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("cliques over TCP under faults=%d, want %d", got, want)
+	}
+	requireLossObserved(t, script, res, "tcp sever")
+}

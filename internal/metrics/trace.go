@@ -46,8 +46,11 @@ const (
 	// workers that acknowledged the cancel.
 	TraceDrain
 	// TraceWorkerLost marks the master declaring a worker lost; Worker is
-	// the lost worker's ID.
+	// the lost worker's ID (-1 when no single worker could be blamed).
 	TraceWorkerLost
+	// TraceStepRetry marks the master re-executing a step after a worker
+	// loss; Worker is the lost worker and Value the new attempt number.
+	TraceStepRetry
 )
 
 var traceKindNames = map[TraceEventKind]string{
@@ -58,6 +61,7 @@ var traceKindNames = map[TraceEventKind]string{
 	TraceCancel:          "cancel",
 	TraceDrain:           "drain",
 	TraceWorkerLost:      "worker-lost",
+	TraceStepRetry:       "step-retry",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,222 @@
+// Fault injection for the transport layer: a hook consulted on every Send
+// that can drop a message, delay it, or sever a node's connectivity, on a
+// scripted or seeded-random schedule. The scheduling layer's fault-tolerance
+// machinery (step retry and re-execution on worker loss) is exercised
+// against this harness — a dropped message is indistinguishable from a
+// network loss, a severed node from a crashed worker process.
+//
+// Injection sits in front of an unmodified Transport, so the same schedules
+// run over both the loopback and the TCP implementations. Faulted sends are
+// invisible to Stats: a dropped or severed message never reached the wire.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fault is the injected fate of one message send. The zero value means
+// "deliver normally".
+type Fault struct {
+	// Delay holds the send back before it is (maybe) delivered. The sender
+	// blocks for the duration, like a congested link backpressuring its
+	// writer.
+	Delay time.Duration
+	// Drop silently discards the message; the sender sees success, exactly
+	// as with a loss beyond the local NIC.
+	Drop bool
+	// Sever fails the send with ErrSevered, the way an unreachable peer
+	// surfaces after dial and write retries are exhausted.
+	Sever bool
+}
+
+// FaultInjector decides the fate of each message a wrapped transport sends.
+// Implementations must be safe for concurrent use: every node's sends flow
+// through the shared injector.
+type FaultInjector interface {
+	// Intercept is consulted before from delivers a message of the given
+	// envelope kind to to. Returning the zero Fault delivers normally.
+	Intercept(from, to NodeID, kind uint8) Fault
+}
+
+// ErrSevered is the underlying error of sends failed by fault injection
+// (directly by a Sever fault, or because either endpoint is severed).
+var ErrSevered = errors.New("rpc: link severed by fault injection")
+
+// WithFaultInjector wraps tr so every Send consults inj first. A nil
+// injector returns tr unchanged.
+func WithFaultInjector(tr Transport, inj FaultInjector) Transport {
+	if inj == nil {
+		return tr
+	}
+	return &faultTransport{Transport: tr, inj: inj}
+}
+
+// faultTransport applies an injector's decisions in front of a real
+// transport. Everything but Send passes through.
+type faultTransport struct {
+	Transport
+	inj FaultInjector
+}
+
+func (f *faultTransport) Send(to NodeID, env Envelope) error {
+	fault := f.inj.Intercept(f.Self(), to, env.Kind)
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	if fault.Sever {
+		return fmt.Errorf("rpc: send to node %d: %w", to, ErrSevered)
+	}
+	if fault.Drop {
+		return nil
+	}
+	return f.Transport.Send(to, env)
+}
+
+// AnyNode matches any node in a FaultRule's From/To fields. (0 is a real
+// worker ID, so the wildcard must be explicit.)
+const AnyNode NodeID = -1 << 30
+
+// FaultRule matches a stream of sends and applies a fault to a window of
+// them. Matching counts every send whose endpoints and kind agree with the
+// rule; the fault applies to matches After < i <= After+Count (Count <= 0
+// means every match past After).
+type FaultRule struct {
+	// From and To select the endpoints; AnyNode matches any node.
+	From, To NodeID
+	// Kind selects the envelope kind; 0 matches any kind.
+	Kind uint8
+	// After skips the first After matching sends.
+	After int
+	// Count bounds how many matches are faulted (<= 0: unlimited).
+	Count int
+	// Fault is applied to each send in the window.
+	Fault Fault
+	// Victim is the node permanently severed when a Fault.Sever rule fires
+	// (consulted only then). Subsequent traffic to or from the victim fails
+	// until Heal.
+	Victim NodeID
+
+	seen int // matching sends observed so far
+}
+
+func (r *FaultRule) matches(from, to NodeID, kind uint8) bool {
+	if r.From != AnyNode && r.From != from {
+		return false
+	}
+	if r.To != AnyNode && r.To != to {
+		return false
+	}
+	return r.Kind == 0 || r.Kind == kind
+}
+
+// DropRule drops the (after+1)-th through (after+count)-th sends matching
+// (from, to, kind).
+func DropRule(from, to NodeID, kind uint8, after, count int) FaultRule {
+	return FaultRule{From: from, To: to, Kind: kind, After: after, Count: count, Fault: Fault{Drop: true}}
+}
+
+// DelayRule delays the matching window by d.
+func DelayRule(from, to NodeID, kind uint8, after, count int, d time.Duration) FaultRule {
+	return FaultRule{From: from, To: to, Kind: kind, After: after, Count: count, Fault: Fault{Delay: d}}
+}
+
+// SeverRule permanently severs victim when the (after+1)-th send matching
+// (from, to, kind) occurs — "kill worker victim the moment this message is
+// observed". The triggering send itself fails with ErrSevered.
+func SeverRule(from, to NodeID, kind uint8, after int, victim NodeID) FaultRule {
+	return FaultRule{From: from, To: to, Kind: kind, After: after, Count: 1, Fault: Fault{Sever: true}, Victim: victim}
+}
+
+// FaultStats counts a Script's interventions, for test assertions.
+type FaultStats struct {
+	// Fired counts rule applications (one per faulted send matched by a
+	// rule).
+	Fired int64
+	// Dropped, Delayed, and Severed count sends by the fault applied;
+	// Severed includes sends failed because an endpoint was already
+	// severed.
+	Dropped, Delayed, Severed int64
+}
+
+// Script is a deterministic FaultInjector: an ordered rule list plus a set
+// of severed nodes. Rules are consulted in order; the first rule whose
+// window covers the send decides its fate. Safe for concurrent use.
+type Script struct {
+	mu      sync.Mutex
+	rules   []FaultRule
+	severed map[NodeID]bool
+	stats   FaultStats
+}
+
+// NewScript builds a script from the given rules (applied in order).
+func NewScript(rules ...FaultRule) *Script {
+	s := &Script{severed: map[NodeID]bool{}}
+	s.rules = append(s.rules, rules...)
+	return s
+}
+
+// Sever marks node as dead: every subsequent send to or from it fails with
+// ErrSevered until Heal.
+func (s *Script) Sever(node NodeID) {
+	s.mu.Lock()
+	s.severed[node] = true
+	s.mu.Unlock()
+}
+
+// Heal restores a severed node's connectivity.
+func (s *Script) Heal(node NodeID) {
+	s.mu.Lock()
+	delete(s.severed, node)
+	s.mu.Unlock()
+}
+
+// Severed reports whether node is currently severed.
+func (s *Script) Severed(node NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.severed[node]
+}
+
+// Stats returns the cumulative intervention counters.
+func (s *Script) Stats() FaultStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Intercept implements FaultInjector.
+func (s *Script) Intercept(from, to NodeID, kind uint8) Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.severed[from] || s.severed[to] {
+		s.stats.Severed++
+		return Fault{Sever: true}
+	}
+	for i := range s.rules {
+		r := &s.rules[i]
+		if !r.matches(from, to, kind) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After || (r.Count > 0 && r.seen > r.After+r.Count) {
+			continue
+		}
+		f := r.Fault
+		s.stats.Fired++
+		if f.Sever {
+			s.severed[r.Victim] = true
+			s.stats.Severed++
+		}
+		if f.Drop {
+			s.stats.Dropped++
+		}
+		if f.Delay > 0 {
+			s.stats.Delayed++
+		}
+		return f
+	}
+	return Fault{}
+}

@@ -1,0 +1,180 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recv pulls one envelope from tr with a timeout, so a dropped message fails
+// the test instead of hanging it.
+func recv(t *testing.T, tr Transport) (Envelope, bool) {
+	t.Helper()
+	select {
+	case env, ok := <-tr.Recv():
+		return env, ok
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for a message")
+		return Envelope{}, false
+	}
+}
+
+func TestFaultInjectorNilPassthrough(t *testing.T) {
+	nw := NewLoopbackNetwork([]NodeID{Master, 0})
+	defer func() {
+		for _, tr := range nw {
+			tr.Close()
+		}
+	}()
+	if got := WithFaultInjector(nw[Master], nil); got != nw[Master] {
+		t.Fatal("nil injector must return the transport unchanged")
+	}
+}
+
+func TestScriptDropRule(t *testing.T) {
+	nw := NewLoopbackNetwork([]NodeID{Master, 0})
+	defer func() {
+		for _, tr := range nw {
+			tr.Close()
+		}
+	}()
+	// Drop the 2nd and 3rd kind-7 messages from master to worker 0.
+	s := NewScript(DropRule(Master, 0, 7, 1, 2))
+	m := WithFaultInjector(nw[Master], s)
+	for i := 0; i < 5; i++ {
+		if err := m.Send(0, Envelope{Kind: 7, Body: []byte{byte(i)}}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	var got []byte
+	for i := 0; i < 3; i++ {
+		env, _ := recv(t, nw[0])
+		got = append(got, env.Body[0])
+	}
+	if string(got) != string([]byte{0, 3, 4}) {
+		t.Errorf("delivered payloads %v, want [0 3 4]", got)
+	}
+	if st := s.Stats(); st.Dropped != 2 || st.Fired != 2 {
+		t.Errorf("stats = %+v, want Dropped=2 Fired=2", st)
+	}
+}
+
+func TestScriptKindAndEndpointMatching(t *testing.T) {
+	nw := NewLoopbackNetwork([]NodeID{Master, 0, 1})
+	defer func() {
+		for _, tr := range nw {
+			tr.Close()
+		}
+	}()
+	// Drop everything of kind 3 sent to worker 1, from anyone.
+	s := NewScript(DropRule(AnyNode, 1, 3, 0, 0))
+	m := WithFaultInjector(nw[Master], s)
+	w0 := WithFaultInjector(nw[0], s)
+
+	m.Send(1, Envelope{Kind: 3})                  // dropped
+	w0.Send(1, Envelope{Kind: 3})                 // dropped
+	m.Send(0, Envelope{Kind: 3})                  // other destination: delivered
+	m.Send(1, Envelope{Kind: 4, Body: []byte{9}}) // other kind: delivered
+
+	if env, _ := recv(t, nw[0]); env.Kind != 3 {
+		t.Errorf("worker 0 got kind %d, want 3", env.Kind)
+	}
+	if env, _ := recv(t, nw[1]); env.Kind != 4 || env.Body[0] != 9 {
+		t.Errorf("worker 1 got kind %d, want the kind-4 message", env.Kind)
+	}
+	if st := s.Stats(); st.Dropped != 2 {
+		t.Errorf("dropped %d, want 2", st.Dropped)
+	}
+}
+
+func TestScriptDelayRule(t *testing.T) {
+	nw := NewLoopbackNetwork([]NodeID{Master, 0})
+	defer func() {
+		for _, tr := range nw {
+			tr.Close()
+		}
+	}()
+	const d = 50 * time.Millisecond
+	s := NewScript(DelayRule(Master, 0, 0, 0, 1, d))
+	m := WithFaultInjector(nw[Master], s)
+	start := time.Now()
+	if err := m.Send(0, Envelope{Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < d {
+		t.Errorf("delayed send returned after %v, want >= %v", el, d)
+	}
+	recv(t, nw[0])
+	// Second send is outside the window: fast.
+	start = time.Now()
+	m.Send(0, Envelope{Kind: 1})
+	if el := time.Since(start); el > d/2 {
+		t.Errorf("undelayed send took %v", el)
+	}
+	if st := s.Stats(); st.Delayed != 1 {
+		t.Errorf("delayed %d, want 1", st.Delayed)
+	}
+}
+
+func TestScriptSeverRuleBothDirections(t *testing.T) {
+	nw := NewLoopbackNetwork([]NodeID{Master, 0, 1})
+	defer func() {
+		for _, tr := range nw {
+			tr.Close()
+		}
+	}()
+	// Kill worker 1 the moment it sends its first kind-5 message.
+	s := NewScript(SeverRule(1, Master, 5, 0, 1))
+	m := WithFaultInjector(nw[Master], s)
+	w1 := WithFaultInjector(nw[1], s)
+
+	if err := w1.Send(Master, Envelope{Kind: 4}); err != nil {
+		t.Fatalf("pre-sever send: %v", err)
+	}
+	if err := w1.Send(Master, Envelope{Kind: 5}); !errors.Is(err, ErrSevered) {
+		t.Fatalf("triggering send: err = %v, want ErrSevered", err)
+	}
+	if !s.Severed(1) {
+		t.Fatal("worker 1 not marked severed")
+	}
+	// Both directions now fail: to the victim and from it.
+	if err := m.Send(1, Envelope{Kind: 1}); !errors.Is(err, ErrSevered) {
+		t.Errorf("send to severed node: err = %v, want ErrSevered", err)
+	}
+	if err := w1.Send(Master, Envelope{Kind: 1}); !errors.Is(err, ErrSevered) {
+		t.Errorf("send from severed node: err = %v, want ErrSevered", err)
+	}
+	// Unrelated pairs are untouched.
+	if err := m.Send(0, Envelope{Kind: 1}); err != nil {
+		t.Errorf("send to healthy node: %v", err)
+	}
+	s.Heal(1)
+	if err := m.Send(1, Envelope{Kind: 1}); err != nil {
+		t.Errorf("send after heal: %v", err)
+	}
+}
+
+func TestScriptRuleOrderFirstMatchWins(t *testing.T) {
+	s := NewScript(
+		DropRule(Master, 0, 0, 0, 0),
+		DelayRule(Master, 0, 0, 0, 0, time.Hour),
+	)
+	f := s.Intercept(Master, 0, 1)
+	if !f.Drop || f.Delay != 0 {
+		t.Errorf("first-match fault = %+v, want pure drop", f)
+	}
+}
+
+func TestScriptSeverAPI(t *testing.T) {
+	s := NewScript()
+	s.Sever(2)
+	if f := s.Intercept(2, Master, 1); !f.Sever {
+		t.Error("send from manually severed node must fail")
+	}
+	if f := s.Intercept(Master, 2, 1); !f.Sever {
+		t.Error("send to manually severed node must fail")
+	}
+	if f := s.Intercept(Master, 0, 1); f.Sever || f.Drop || f.Delay != 0 {
+		t.Errorf("unrelated send faulted: %+v", f)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"fractal/internal/metrics"
+	"fractal/internal/rpc"
 )
 
 // WorkStealing selects the load-balancing configuration (the four scenarios
@@ -83,6 +84,23 @@ type Config struct {
 	// report or aggregation data before declaring the worker lost and
 	// failing the job with a WorkerLostError (default 1 minute).
 	WorkerTimeout time.Duration
+	// StepRetries is how many times the master re-executes a step after a
+	// worker loss before giving up. Steps execute from scratch, so a retry
+	// discards the failed attempt's partials, excludes the lost worker for
+	// the rest of the job (unless that would leave no workers), and replays
+	// the step from its input fractoid. At the zero default a worker loss
+	// fails the job with the WorkerLostError itself; with retries enabled an
+	// exhausted budget fails it with a RetryExhaustedError.
+	StepRetries int
+	// RetryBackoff is the pause between a worker-loss failure and the next
+	// attempt of the step (default 5ms when StepRetries > 0). The wait is
+	// context-aware: cancellation during backoff returns promptly.
+	RetryBackoff time.Duration
+	// FaultInjector, when non-nil, wraps every transport (master and
+	// workers) so each message send consults it first — the fault-injection
+	// harness behind the chaos tests. See rpc.Script for the scripted
+	// implementation. Production deployments leave it nil.
+	FaultInjector rpc.FaultInjector
 	// Trace enables the structured trace journal: every run records step,
 	// quiescence, steal, and cancellation events into a bounded ring
 	// exposed through Result.Report.Trace. Disabled tracing costs one nil
@@ -110,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.WorkerTimeout <= 0 {
 		c.WorkerTimeout = time.Minute
 	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
 	return c
 }
 
@@ -130,6 +151,11 @@ type StepReport struct {
 	// before the cancellation took effect, and its aggregations were
 	// discarded rather than merged.
 	Cancelled bool `json:"cancelled,omitempty"`
+	// Attempts is how many times the step was executed (1 on the fault-free
+	// path; each worker-loss retry adds one). The step's other metrics
+	// describe the final attempt only — failed attempts' partials are
+	// discarded, not merged.
+	Attempts int `json:"attempts,omitempty"`
 	// AbandonedExts counts enumerator extensions discarded by a cancelled
 	// step: a lower bound on the enumeration work that remained.
 	AbandonedExts int64 `json:"abandoned_exts,omitempty"`

@@ -17,7 +17,6 @@ import (
 type core struct {
 	w          *worker
 	local      int // index within the worker
-	global     int // worker.id*CoresPerWorker + local
 	stack      enumerator.Stack
 	respCh     chan stealRespMsg // external steal responses routed here
 	extScratch []subgraph.Word
@@ -27,10 +26,15 @@ func newCore(w *worker, local int) *core {
 	return &core{
 		w:      w,
 		local:  local,
-		global: w.id*w.cfg.CoresPerWorker + local,
 		respCh: make(chan stealRespMsg, 4),
 	}
 }
+
+// gidx is the core's global index for the attempt: cores are numbered by the
+// worker's rank among the attempt's participants, not its worker ID, so that
+// a retry over fewer workers still covers the whole root domain with
+// contiguous indices.
+func (c *core) gidx(st *stepCtx) int { return st.base + c.local }
 
 // run executes one step to global quiescence. It is the DFS-PROCESSING loop
 // of Algorithm 1 driven by the enumerator stack, extended with the steal
@@ -56,7 +60,7 @@ func (c *core) run(st *stepCtx) {
 	c.stack.Clear()
 	// The core is already marked active: startStep incremented the counter
 	// for every core before launching the goroutines.
-	c.stack.Push(enumerator.NewRoot(c.global, st.totalCores, emb.InitialDomain()))
+	c.stack.Push(enumerator.NewRoot(c.gidx(st), st.totalCores, emb.InitialDomain()))
 
 	for {
 		// Cancellation is polled once per DFS iteration (one extension
@@ -153,7 +157,7 @@ func (c *core) run(st *stepCtx) {
 		// memory is released promptly; record how much work was abandoned.
 		abandoned := c.stack.Abandon()
 		st.col.AddAbandonedExts(abandoned)
-		if old := st.stateBytes[c.global].Swap(0); old != 0 {
+		if old := st.stateBytes[c.gidx(st)].Swap(0); old != 0 {
 			st.stateTotal.Add(-old)
 		}
 		if st.tracer != nil {
@@ -189,7 +193,7 @@ func (c *core) process(st *stepCtx, emb *subgraph.Embedding, depth int, w subgra
 		case step.Extend:
 			exts, tested := emb.Extensions(c.extScratch[:0])
 			c.extScratch = exts
-			st.col.AddExtensionTests(c.global, int64(tested))
+			st.col.AddExtensionTests(c.gidx(st), int64(tested))
 			if len(exts) > 0 {
 				// PushCopy copies both slices into stack-pooled storage, so
 				// the steady-state DFS loop allocates nothing per subgraph.
@@ -215,7 +219,7 @@ func (c *core) process(st *stepCtx, emb *subgraph.Embedding, depth int, w subgra
 		}
 	}
 	// Complete embedding for this step.
-	st.col.AddSubgraphs(c.global, 1)
+	st.col.AddSubgraphs(c.gidx(st), 1)
 }
 
 // stealInternal scans sibling cores round-robin and steals the shallowest
@@ -231,35 +235,46 @@ func (c *core) stealInternal(st *stepCtx) ([]subgraph.Word, bool) {
 	return nil, false
 }
 
-// stealExternal sends steal requests to the other workers round-robin and
-// waits for each response (case (b) of Figure 9). The wait is abandoned when
-// the master ends the step: post-quiescence responses can only be empty.
+// stealExternal sends steal requests to the attempt's other participants
+// round-robin and waits for each response (case (b) of Figure 9). The wait
+// is abandoned when the master ends the step — post-quiescence responses can
+// only be empty — and bounded by WorkerTimeout per victim: under fault
+// injection a request or its response can vanish, and an unbounded wait
+// would pin this core forever. A response lost this way leaves the worker's
+// request/response counters permanently imbalanced, which is exactly what
+// the master's steal-balance watchdog convicts — giving up here just keeps
+// the core schedulable until the attempt is failed and retried.
 func (c *core) stealExternal(st *stepCtx) ([]subgraph.Word, bool) {
 	w := c.w
-	nw := w.cfg.Workers
-	if nw <= 1 {
+	parts := st.parts
+	if len(parts) <= 1 {
 		return nil, false
 	}
-	for off := 1; off < nw; off++ {
-		victim := rpc.NodeID((w.id + off) % nw)
-		req := stealReqMsg{Job: st.job, Step: st.index, Worker: w.id, Core: c.local}
+	for off := 1; off < len(parts); off++ {
+		victim := rpc.NodeID(parts[(st.rank+off)%len(parts)])
+		req := stealReqMsg{Job: st.job, Step: st.index, Attempt: st.attempt, Worker: w.id, Core: c.local}
 		w.reqSent.Add(1)
 		if err := w.tr.Send(victim, rpc.Envelope{Kind: kStealReq, Body: encode(req)}); err != nil {
 			w.reqSent.Add(-1) // never left this node
 			continue
 		}
+		wait := time.NewTimer(w.cfg.WorkerTimeout)
 		for {
 			select {
 			case resp := <-c.respCh:
-				if resp.Job != st.job || resp.Step != st.index {
-					continue // stale response from an earlier step
+				if resp.Job != st.job || resp.Step != st.index || resp.Attempt != st.attempt {
+					continue // stale response from an earlier step or attempt
 				}
+				wait.Stop()
 				if len(resp.Prefix) > 0 {
 					st.col.AddExternalSteal(int64(4 * len(resp.Prefix)))
 					return resp.Prefix, true
 				}
 			case <-st.doneCh:
+				wait.Stop()
 				return nil, false
+			case <-wait.C:
+				// Response lost; move on to the next victim.
 			}
 			break
 		}
@@ -299,6 +314,6 @@ func (c *core) drainResponses() {
 // per-extension cost that grew with the deployment size.
 func (c *core) observeState(st *stepCtx) {
 	nb := c.stack.StateBytes()
-	old := st.stateBytes[c.global].Swap(nb)
+	old := st.stateBytes[c.gidx(st)].Swap(nb)
 	st.col.ObserveStateBytes(st.stateTotal.Add(nb - old))
 }

@@ -8,15 +8,22 @@ import (
 // WorkerLostError reports that the master gave up on a worker mid-job: a
 // control message could not be delivered to it, or it stopped answering
 // status pings / shipping aggregation partials within Config.WorkerTimeout.
-// The job fails with this error instead of blocking in quiescence polling;
-// the runtime itself stays usable for subsequent jobs as long as the lost
+// With Config.StepRetries at its zero default the job fails with this error
+// instead of blocking in quiescence polling; with retries enabled the master
+// discards the attempt, excludes the lost worker, and re-executes the step.
+// The runtime itself stays usable for subsequent jobs as long as the lost
 // worker's transport recovers (in-process workers only disappear at
-// shutdown, so in practice this surfaces TCP transport failures).
+// shutdown, so in practice this surfaces TCP transport failures and injected
+// faults).
 type WorkerLostError struct {
-	// Worker is the lost worker's ID.
+	// Worker is the lost worker's ID. -1 means no single worker could be
+	// blamed (lost cross-worker steal traffic detected by the balance
+	// watchdog).
 	Worker int
+	// Step is the index of the step whose attempt the loss aborted.
+	Step int
 	// Phase names the master activity that detected the loss
-	// ("step-start", "quiescence", "aggregation").
+	// ("step-start", "quiescence", "steal-balance", "aggregation").
 	Phase string
 	// Err is the underlying transport error, nil when the worker simply
 	// went silent.
@@ -24,13 +31,38 @@ type WorkerLostError struct {
 }
 
 func (e *WorkerLostError) Error() string {
-	if e.Err != nil {
-		return fmt.Sprintf("sched: worker %d lost during %s: %v", e.Worker, e.Phase, e.Err)
+	who := fmt.Sprintf("worker %d", e.Worker)
+	if e.Worker < 0 {
+		who = "steal traffic"
 	}
-	return fmt.Sprintf("sched: worker %d lost during %s: no report within worker timeout", e.Worker, e.Phase)
+	if e.Err != nil {
+		return fmt.Sprintf("sched: %s lost during %s of step %d: %v", who, e.Phase, e.Step, e.Err)
+	}
+	return fmt.Sprintf("sched: %s lost during %s of step %d: no report within worker timeout", who, e.Phase, e.Step)
 }
 
 func (e *WorkerLostError) Unwrap() error { return e.Err }
+
+// RetryExhaustedError reports that a step kept losing workers until the
+// retry budget (Config.StepRetries) ran out. Attempts counts the executions
+// of the step, so Attempts == StepRetries+1; Last is the worker loss that
+// ended the final attempt, reachable through errors.As/Is via Unwrap. It is
+// only produced when retries are enabled — at the zero default the first
+// WorkerLostError surfaces directly.
+type RetryExhaustedError struct {
+	// Step is the index of the step that could not complete.
+	Step int
+	// Attempts is how many times the step was executed.
+	Attempts int
+	// Last is the worker loss that failed the final attempt.
+	Last *WorkerLostError
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("sched: step %d failed after %d attempts: %v", e.Step, e.Attempts, e.Last)
+}
+
+func (e *RetryExhaustedError) Unwrap() error { return e.Last }
 
 // AggregationError reports that a step's aggregation results could not be
 // assembled correctly: a worker failed to merge or encode a per-core

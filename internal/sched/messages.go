@@ -23,22 +23,50 @@ const (
 	kCancelAck
 )
 
-// stepStartMsg tells a worker to start executing a step.
+// Exported kind aliases, so fault-injection schedules (rpc.FaultRule.Kind)
+// can target specific protocol messages — "sever worker 1 when it ships its
+// first aggregation partial" — without this package leaking its message
+// structs.
+const (
+	KindStepStart    = kStepStart
+	KindStepEnd      = kStepEnd
+	KindAggData      = kAggData
+	KindAggDone      = kAggDone
+	KindStatusPing   = kStatusPing
+	KindStatusReport = kStatusReport
+	KindStealReq     = kStealReq
+	KindStealResp    = kStealResp
+	KindCancel       = kCancel
+	KindCancelAck    = kCancelAck
+)
+
+// Every step-scoped message carries the master's Attempt counter alongside
+// Job and Step. A retried step re-executes from scratch under a new attempt
+// number, and both sides discard messages from other attempts — this is what
+// guarantees a stale partial from a failed attempt (still queued in a
+// mailbox, or shipped by a worker the master already gave up on) can never
+// leak into the retried step's aggregations or steal traffic.
+
+// stepStartMsg tells a worker to start executing a step. Workers lists the
+// participating worker IDs for this attempt — a retry may exclude lost
+// workers, and the remaining ones re-partition the root domain among
+// len(Workers)×CoresPerWorker cores and steal only from each other.
 type stepStartMsg struct {
-	Job, Step int
+	Job, Step, Attempt int
+	Workers            []int
 }
 
 // stepEndMsg tells a worker the step is globally quiescent: stop cores and
 // report aggregation partials.
 type stepEndMsg struct {
-	Job, Step int
+	Job, Step, Attempt int
 }
 
-// cancelMsg tells a worker the master has abandoned the step (context
-// cancellation, deadline, or worker loss): stop cores immediately, discard
-// partial aggregations, and report nothing but a cancelAckMsg.
+// cancelMsg tells a worker the master has abandoned the step attempt
+// (context cancellation, deadline, or worker loss): stop cores immediately,
+// discard partial aggregations, and report nothing but a cancelAckMsg.
 type cancelMsg struct {
-	Job, Step int
+	Job, Step, Attempt int
 }
 
 // cancelAckMsg confirms that a worker has drained the cancelled step: its
@@ -46,16 +74,16 @@ type cancelMsg struct {
 // are final. Sent even when the worker was not running the step, so the
 // master's bounded drain wait completes fast on the healthy path.
 type cancelAckMsg struct {
-	Job, Step int
-	Worker    int
+	Job, Step, Attempt int
+	Worker             int
 }
 
 // aggDataMsg carries one worker's partial aggregation for one name.
 type aggDataMsg struct {
-	Job, Step int
-	Worker    int
-	Name      string
-	Data      []byte
+	Job, Step, Attempt int
+	Worker             int
+	Name               string
+	Data               []byte
 }
 
 // aggDoneMsg signals that a worker has finished reporting its partials:
@@ -65,44 +93,49 @@ type aggDataMsg struct {
 // master — a partial that cannot be assembled must fail loudly, never
 // silently ship a wrong or missing result.
 type aggDoneMsg struct {
-	Job, Step int
-	Worker    int
-	Sent      int
-	Errs      []string
+	Job, Step, Attempt int
+	Worker             int
+	Sent               int
+	Errs               []string
 }
 
 // statusPingMsg requests a quiescence status report.
 type statusPingMsg struct {
-	Job, Step int
-	Round     int64
+	Job, Step, Attempt int
+	Round              int64
 }
 
 // statusReportMsg is a worker's quiescence report: instantaneous activity
-// plus monotone progress and message-balance counters.
+// plus monotone progress and message-balance counters. Running reports
+// whether the worker is actually executing the pinged attempt — a worker
+// whose stepStartMsg was lost answers pings with Running=false, which keeps
+// the master from declaring quiescence while a participant never ran its
+// share of the root domain.
 type statusReportMsg struct {
-	Job, Step int
-	Round     int64
-	Worker    int
-	Active    int64
-	Processed int64
-	ReqSent   int64
-	RespRecv  int64
-	ReqRecv   int64
-	RespSent  int64
+	Job, Step, Attempt int
+	Round              int64
+	Worker             int
+	Running            bool
+	Active             int64
+	Processed          int64
+	ReqSent            int64
+	RespRecv           int64
+	ReqRecv            int64
+	RespSent           int64
 }
 
 // stealReqMsg asks a worker to donate one enumeration prefix.
 type stealReqMsg struct {
-	Job, Step int
-	Worker    int // requesting worker
-	Core      int // requesting core (worker-local index)
+	Job, Step, Attempt int
+	Worker             int // requesting worker
+	Core               int // requesting core (worker-local index)
 }
 
 // stealRespMsg answers a stealReqMsg. An empty Prefix means no work.
 type stealRespMsg struct {
-	Job, Step int
-	Core      int // destination core (worker-local index)
-	Prefix    []subgraph.Word
+	Job, Step, Attempt int
+	Core               int // destination core (worker-local index)
+	Prefix             []subgraph.Word
 }
 
 // encode gob-encodes a message body.

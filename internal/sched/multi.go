@@ -25,6 +25,8 @@ func CombineReports(reps ...*RunReport) *RunReport {
 		}
 		out.Wall += r.Wall
 		out.Steps = append(out.Steps, r.Steps...)
+		out.Retries += r.Retries
+		out.WorkersLost += r.WorkersLost
 		out.Transport = out.Transport.add(r.Transport)
 		out.Trace = append(out.Trace, r.Trace...)
 		out.TraceDropped += r.TraceDropped

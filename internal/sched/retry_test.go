@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fractal/internal/agg"
+	"fractal/internal/graph"
+	"fractal/internal/rpc"
+	"fractal/internal/step"
+	"fractal/internal/subgraph"
+)
+
+// aggCountJob counts embeddings through an aggregation — the retry-safe
+// counting path, whose attempt-tagged partials the master discards wholesale
+// when an attempt fails. A plain visiting counter would keep a failed
+// attempt's increments, so these tests could not distinguish "retried
+// correctly" from "double-counted".
+func aggCountJob(g *graph.Graph, depth int) Job {
+	spec := &step.AggSpec{
+		Name:  "count",
+		Proto: agg.New[uint8, int64](agg.SumInt64),
+		Emit: func(e *subgraph.Embedding, local agg.Store) {
+			local.(*agg.Aggregation[uint8, int64]).Add(0, 1)
+		},
+	}
+	var w step.Workflow
+	for i := 0; i < depth; i++ {
+		w = append(w, step.ExtendP())
+	}
+	w = append(w, step.AggregateP(spec))
+	return Job{Graph: g, Kind: subgraph.VertexInduced, Workflow: w}
+}
+
+// aggCount reads the "count" aggregation from a completed run.
+func aggCount(t *testing.T, res *Result) int64 {
+	t.Helper()
+	a, err := agg.Typed[uint8, int64](res.Env, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := a.Get(0)
+	return v
+}
+
+// TestRetryRecoversLostWorker is the tentpole acceptance scenario: worker 1
+// is severed mid-step (its first quiescence report kills it), and with
+// retries enabled the run must still complete with the exact fault-free
+// count — the retry excludes the lost worker and the survivor re-partitions
+// the whole root domain.
+func TestRetryRecoversLostWorker(t *testing.T) {
+	g := randomGraph(30, 0.25, 1, 101)
+	want := refCount(g, subgraph.VertexInduced, nil, 3)
+	if want == 0 {
+		t.Fatal("degenerate test graph")
+	}
+	script := rpc.NewScript(rpc.SeverRule(1, rpc.Master, KindStatusReport, 0, 1))
+	rt, err := New(Config{
+		Workers: 2, CoresPerWorker: 2, WS: WSBoth,
+		StepRetries: 2, RetryBackoff: time.Millisecond,
+		WorkerTimeout: 300 * time.Millisecond,
+		FaultInjector: script,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	res, err := rt.Run(context.Background(), aggCountJob(g, 3))
+	if err != nil {
+		t.Fatalf("run with retries failed: %v", err)
+	}
+	if got := aggCount(t, res); got != want {
+		t.Errorf("count after worker loss = %d, want %d", got, want)
+	}
+	if script.Stats().Fired == 0 {
+		t.Fatal("fault script never fired; the scenario did not run")
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", last.Attempts)
+	}
+	if last.Cancelled {
+		t.Error("recovered step still marked Cancelled")
+	}
+	if res.Report.Retries != 1 || res.Report.WorkersLost != 1 {
+		t.Errorf("report retries=%d workersLost=%d, want 1/1",
+			res.Report.Retries, res.Report.WorkersLost)
+	}
+}
+
+// TestRetryExhausted verifies the failure shape when every attempt loses a
+// worker: a typed *RetryExhaustedError whose Unwrap chain reaches the final
+// *WorkerLostError and the underlying transport error.
+func TestRetryExhausted(t *testing.T) {
+	script := rpc.NewScript()
+	script.Sever(0) // the only worker is dead before the job starts
+	rt, err := New(Config{
+		Workers: 1, CoresPerWorker: 1,
+		StepRetries: 2, RetryBackoff: time.Millisecond,
+		FaultInjector: script,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var counter atomic.Int64
+	g := randomGraph(10, 0.3, 1, 102)
+	res, err := rt.Run(context.Background(), countJob(g, subgraph.VertexInduced, nil, 2, &counter))
+	if err == nil {
+		t.Fatal("run against a severed worker succeeded")
+	}
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v (%T), want *RetryExhaustedError", err, err)
+	}
+	if re.Attempts != 3 || re.Step != 0 {
+		t.Errorf("exhausted after attempts=%d step=%d, want 3 attempts of step 0", re.Attempts, re.Step)
+	}
+	var wl *WorkerLostError
+	if !errors.As(err, &wl) {
+		t.Fatal("Unwrap chain does not reach *WorkerLostError")
+	}
+	if wl.Worker != 0 || wl.Phase != "step-start" || wl.Step != 0 {
+		t.Errorf("last loss = %+v, want worker 0 during step-start of step 0", wl)
+	}
+	if !errors.Is(err, rpc.ErrSevered) {
+		t.Error("Unwrap chain does not reach the transport's ErrSevered")
+	}
+	if res == nil || len(res.Steps) == 0 {
+		t.Fatal("failed run returned no partial result")
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if !last.Cancelled || last.Attempts != 3 {
+		t.Errorf("last step cancelled=%v attempts=%d, want true/3", last.Cancelled, last.Attempts)
+	}
+	if res.Report.Retries != 2 || res.Report.WorkersLost != 3 {
+		t.Errorf("report retries=%d workersLost=%d, want 2/3",
+			res.Report.Retries, res.Report.WorkersLost)
+	}
+}
+
+// TestCancelDuringRetryBackoff verifies the backoff wait is context-aware:
+// cancelling mid-backoff returns ctx.Err() promptly instead of sleeping out
+// the schedule (or burning the rest of the retry budget).
+func TestCancelDuringRetryBackoff(t *testing.T) {
+	script := rpc.NewScript()
+	script.Sever(0)
+	rt, err := New(Config{
+		Workers: 1, CoresPerWorker: 1,
+		StepRetries: 5, RetryBackoff: 2 * time.Second,
+		FaultInjector: script,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var counter atomic.Int64
+	g := randomGraph(10, 0.3, 1, 102)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := rt.Run(ctx, countJob(g, subgraph.VertexInduced, nil, 2, &counter))
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // attempt 0 fails instantly; backoff is 2s
+	cancelAt := time.Now()
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want wrapped context.Canceled", err)
+		}
+		var re *RetryExhaustedError
+		if errors.As(err, &re) {
+			t.Error("cancellation misreported as retry exhaustion")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Run did not return")
+	}
+	if latency := time.Since(cancelAt); latency > time.Second {
+		t.Errorf("cancellation during backoff took %v", latency)
+	}
+}
+
+// TestRetriedAggregationCountsOnce is the exactly-once proof for aggregation
+// steps: worker 1's partial is delayed past the worker timeout, so the master
+// abandons the attempt while that attempt-0 payload is still in flight and
+// lands in the master's mailbox around the retry. Without attempt tagging the
+// stale partial would fold into the retry's result and inflate the count;
+// with it the retried step commits exactly one attempt's partials.
+func TestRetriedAggregationCountsOnce(t *testing.T) {
+	g := randomGraph(30, 0.25, 1, 103)
+	want := refCount(g, subgraph.VertexInduced, nil, 3)
+	script := rpc.NewScript(
+		rpc.DelayRule(1, rpc.Master, KindAggData, 0, 1, 400*time.Millisecond),
+	)
+	rt, err := New(Config{
+		Workers: 2, CoresPerWorker: 2, WS: WSBoth,
+		StepRetries: 1, RetryBackoff: time.Millisecond,
+		WorkerTimeout: 150 * time.Millisecond,
+		FaultInjector: script,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	res, err := rt.Run(context.Background(), aggCountJob(g, 3))
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if got := aggCount(t, res); got != want {
+		t.Errorf("count = %d, want %d (a mismatch above the reference means a stale partial was double-counted)", got, want)
+	}
+	if script.Stats().Delayed == 0 {
+		t.Fatal("delay rule never fired; the scenario did not run")
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", last.Attempts)
+	}
+	if res.Report.WorkersLost != 1 {
+		t.Errorf("report workersLost = %d, want 1", res.Report.WorkersLost)
+	}
+}
+
+// TestStealBalanceWatchdogRetries verifies the watchdog for losses that
+// silence nobody: a dropped steal response leaves the request/response
+// counters permanently imbalanced while every worker keeps answering pings.
+// The master must convict the stagnant imbalance (Worker -1: no single
+// worker to blame or exclude), retry over the same participants, and land on
+// the exact count.
+func TestStealBalanceWatchdogRetries(t *testing.T) {
+	// A star's enumeration work all hangs off the hub (vertex 0, handled by
+	// worker 0's core), so worker 1 drains its spoke roots immediately and is
+	// guaranteed to send steal requests while worker 0 is still deep in the
+	// hub subtree.
+	g := starGraph(400)
+	want := refCount(g, subgraph.VertexInduced, nil, 3)
+	if want == 0 {
+		t.Fatal("degenerate test graph")
+	}
+	script := rpc.NewScript(rpc.DropRule(0, 1, KindStealResp, 0, 1))
+	rt, err := New(Config{
+		Workers: 2, CoresPerWorker: 1, WS: WSExternal,
+		StepRetries: 1, RetryBackoff: time.Millisecond,
+		WorkerTimeout: 200 * time.Millisecond,
+		FaultInjector: script,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	res, err := rt.Run(context.Background(), aggCountJob(g, 3))
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if script.Stats().Dropped == 0 {
+		t.Fatal("no steal response was dropped; the scenario did not run")
+	}
+	if got := aggCount(t, res); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", last.Attempts)
+	}
+	if res.Report.Retries != 1 || res.Report.WorkersLost != 1 {
+		t.Errorf("report retries=%d workersLost=%d, want 1/1",
+			res.Report.Retries, res.Report.WorkersLost)
+	}
+}
+
+// TestRetryErrorTypes pins the error surface: WorkerLostError carries the
+// step and names the blameless steal-balance case, and RetryExhaustedError
+// unwraps to the final loss.
+func TestRetryErrorTypes(t *testing.T) {
+	anon := &WorkerLostError{Worker: -1, Step: 3, Phase: "steal-balance"}
+	if msg := anon.Error(); !strings.Contains(msg, "steal traffic") || !strings.Contains(msg, "step 3") {
+		t.Errorf("blameless loss message %q", msg)
+	}
+	wl := &WorkerLostError{Worker: 2, Step: 1, Phase: "aggregation", Err: rpc.ErrSevered}
+	if msg := wl.Error(); !strings.Contains(msg, "worker 2") || !strings.Contains(msg, "step 1") {
+		t.Errorf("loss message %q", msg)
+	}
+	if !errors.Is(wl, rpc.ErrSevered) {
+		t.Error("WorkerLostError does not unwrap to its transport error")
+	}
+	re := &RetryExhaustedError{Step: 1, Attempts: 3, Last: wl}
+	if msg := re.Error(); !strings.Contains(msg, "after 3 attempts") {
+		t.Errorf("exhaustion message %q", msg)
+	}
+	var got *WorkerLostError
+	if !errors.As(re, &got) || got != wl {
+		t.Error("RetryExhaustedError does not unwrap to its last loss")
+	}
+	if !errors.Is(re, rpc.ErrSevered) {
+		t.Error("RetryExhaustedError chain does not reach the transport error")
+	}
+}

@@ -73,11 +73,24 @@ func (r *Result) TotalSubgraphs() int64 {
 	return t
 }
 
-// jobRun is the shared (in-process) state of the job under execution,
-// published by the master before broadcasting step starts. In the paper this
-// is the fractoid piggybacked on the Spark job submission.
+// jobRun is the shared (in-process) state of one step attempt, published by
+// the master before broadcasting step starts. In the paper this is the
+// fractoid piggybacked on the Spark job submission. Every retry of a step
+// gets a fresh jobRun — fresh collector, fresh state accounting, fresh abort
+// flag — so a core still draining a failed attempt can only ever write into
+// that attempt's discarded state, never into the retry's.
 type jobRun struct {
-	job        int
+	job int
+	// attempt numbers the executions of the current step (0 on the first
+	// try); step-scoped messages carry it so both sides can discard
+	// leftovers of abandoned attempts.
+	attempt int
+	// parts lists the participating worker IDs, in rank order: a retry
+	// excludes workers lost earlier in the job, and the survivors
+	// re-partition the root domain among totalCores = len(parts) ×
+	// CoresPerWorker cores indexed by rank.
+	parts      []int
+	totalCores int
 	graph      *graph.Graph
 	kind       subgraph.Kind
 	plan       *pattern.Plan
@@ -137,6 +150,11 @@ func New(cfg Config) (*Runtime, error) {
 	} else {
 		nw = rpc.NewLoopbackNetwork(ids)
 	}
+	if cfg.FaultInjector != nil {
+		for id, tr := range nw {
+			nw[id] = rpc.WithFaultInjector(tr, cfg.FaultInjector)
+		}
+	}
 	rt := &Runtime{cfg: cfg, master: nw[rpc.Master]}
 	for i := 0; i < cfg.Workers; i++ {
 		w := newWorker(i, cfg, rt, nw[rpc.NodeID(i)])
@@ -162,8 +180,11 @@ func (r *Runtime) Close() {
 		r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kShutdown})
 	}
 	for _, w := range r.workers {
-		w.stop()
+		// Close the transport before waiting on the router: a worker whose
+		// connectivity was severed never receives the shutdown message, so
+		// only the transport close can end its Recv loop.
 		w.tr.Close()
+		w.stop()
 	}
 	r.master.Close()
 }
@@ -184,9 +205,20 @@ func (r *Runtime) currentRun() *jobRun {
 // goroutines outlive it and the runtime stays usable for subsequent jobs.
 // A cancelled Run returns a non-nil partial Result whose last StepReport is
 // marked Cancelled, together with an error wrapping ctx.Err() (or
-// context.DeadlineExceeded for a step timeout). An unreachable or silent
-// worker fails the job with a *WorkerLostError instead of blocking in
-// quiescence polling. A nil ctx is treated as context.Background().
+// context.DeadlineExceeded for a step timeout). A nil ctx is treated as
+// context.Background().
+//
+// An unreachable or silent worker fails the step attempt with a
+// *WorkerLostError instead of blocking in quiescence polling. With
+// Config.StepRetries at its zero default that fails the job; otherwise the
+// step is retried: steps execute from scratch (Algorithm 2), so the master
+// discards the attempt's partials, excludes the lost worker for the rest of
+// the job (unless no worker would remain, in which case all are readmitted),
+// and re-executes the step over the survivors, which re-partition the root
+// domain. Exactly one attempt's aggregations are ever committed — attempt
+// tagging keeps a failed attempt's late partials out — so retried results
+// are bit-identical to fault-free runs. When the budget runs out the job
+// fails with a *RetryExhaustedError wrapping the last loss.
 func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -229,11 +261,17 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	preStats := r.transportStats()
 	res := &Result{Env: env}
 	start := time.Now()
+	var retries, workersLost int
 	// The report is assembled on every exit path — cancelled and failed
 	// runs keep their partial steps, traffic deltas, and trace journal.
 	defer func() {
-		res.Report = r.buildReport(res, tracer, preStats)
+		res.Report = r.buildReport(res, tracer, preStats, retries, workersLost)
 	}()
+	// Workers lost during this job are excluded from subsequent attempts
+	// (and steps): a worker that timed out once is more likely dead than
+	// slow, and readmitting it would spend the whole retry budget
+	// rediscovering that.
+	excluded := map[int]bool{}
 	for i, s := range steps {
 		rep := StepReport{Index: i, Workflow: step.Workflow(s.Primitives).String()}
 		if r.effectFree(s) {
@@ -245,47 +283,76 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 			res.Wall = time.Since(start)
 			return res, fmt.Errorf("sched: step %d: %w", i, err)
 		}
-		col := metrics.NewCollector(r.cfg.TotalCores())
-		run := &jobRun{
-			job:        jobID,
-			graph:      job.Graph,
-			kind:       job.Kind,
-			plan:       job.Plan,
-			custom:     job.Custom,
-			steps:      steps,
-			env:        env,
-			col:        col,
-			tracer:     tracer,
-			stateBytes: make([]atomic.Int64, r.cfg.TotalCores()),
-		}
-		r.mu.Lock()
-		r.run = run
-		r.mu.Unlock()
-
-		stepCtx := ctx
-		var cancel context.CancelFunc
-		if r.cfg.StepTimeout > 0 {
-			stepCtx, cancel = context.WithTimeout(ctx, r.cfg.StepTimeout)
-		}
 		stepStart := time.Now()
-		err := r.executeStep(stepCtx, run, i, s)
-		if cancel != nil {
-			cancel()
-		}
-		r.mu.Lock()
-		r.run = nil
-		r.mu.Unlock()
+		var run *jobRun
+		var stepErr error
+		attempt := 0
+		for {
+			parts := r.participants(excluded)
+			if len(parts) == 0 {
+				// Every worker has been lost at some point. Readmit them
+				// all: the remaining budget is better spent probing for a
+				// recovered transport than failing outright.
+				clear(excluded)
+				parts = r.participants(excluded)
+			}
+			run = r.newAttempt(jobID, attempt, parts, job, steps, env, tracer)
+			r.mu.Lock()
+			r.run = run
+			r.mu.Unlock()
 
-		rep.Wall = time.Since(stepStart)
-		fillReport(&rep, run, r.cfg.TotalCores())
-		if err != nil {
+			stepCtx := ctx
+			var cancel context.CancelFunc
+			if r.cfg.StepTimeout > 0 {
+				stepCtx, cancel = context.WithTimeout(ctx, r.cfg.StepTimeout)
+			}
+			stepErr = r.executeStep(stepCtx, run, i, s)
+			if cancel != nil {
+				cancel()
+			}
+			r.mu.Lock()
+			r.run = nil
+			r.mu.Unlock()
+			if stepErr == nil {
+				break
+			}
 			var lost *WorkerLostError
-			if tracer != nil && errors.As(err, &lost) {
+			if !errors.As(stepErr, &lost) {
+				break // cancellation, deadline, aggregation failure: not retryable
+			}
+			workersLost++
+			if tracer != nil {
 				tracer.Emit(metrics.TraceEvent{
 					Kind: metrics.TraceWorkerLost, Step: i,
 					Worker: lost.Worker, Core: -1,
 				})
 			}
+			if lost.Worker >= 0 {
+				excluded[lost.Worker] = true
+			}
+			if attempt >= r.cfg.StepRetries {
+				if r.cfg.StepRetries > 0 {
+					stepErr = &RetryExhaustedError{Step: i, Attempts: attempt + 1, Last: lost}
+				}
+				break
+			}
+			if err := sleepCtx(ctx, r.cfg.RetryBackoff); err != nil {
+				stepErr = err
+				break
+			}
+			attempt++
+			retries++
+			if tracer != nil {
+				tracer.Emit(metrics.TraceEvent{
+					Kind: metrics.TraceStepRetry, Step: i,
+					Worker: lost.Worker, Core: -1, Value: int64(attempt),
+				})
+			}
+		}
+		rep.Wall = time.Since(stepStart)
+		rep.Attempts = attempt + 1
+		fillReport(&rep, run)
+		if stepErr != nil {
 			// The step was abandoned: report the partial work done before
 			// the cancellation (or worker loss) took effect. executeStep
 			// has already waited (bounded) for drain acks, so on the
@@ -295,7 +362,7 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 			rep.Cancelled = true
 			res.Steps = append(res.Steps, rep)
 			res.Wall = time.Since(start)
-			return res, fmt.Errorf("sched: step %d: %w", i, err)
+			return res, fmt.Errorf("sched: step %d: %w", i, stepErr)
 		}
 		res.Steps = append(res.Steps, rep)
 	}
@@ -303,14 +370,63 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	return res, nil
 }
 
-// fillReport copies the step's collector snapshot and quiescence journal
-// into its report.
-func fillReport(rep *StepReport, run *jobRun, cores int) {
+// participants returns the worker IDs taking part in the next attempt, in
+// rank order.
+func (r *Runtime) participants(excluded map[int]bool) []int {
+	parts := make([]int, 0, r.cfg.Workers)
+	for i := 0; i < r.cfg.Workers; i++ {
+		if !excluded[i] {
+			parts = append(parts, i)
+		}
+	}
+	return parts
+}
+
+// newAttempt builds the fresh shared state for one execution attempt of a
+// step.
+func (r *Runtime) newAttempt(jobID, attempt int, parts []int, job Job, steps []*step.Step, env *agg.Registry, tracer *metrics.Tracer) *jobRun {
+	total := len(parts) * r.cfg.CoresPerWorker
+	return &jobRun{
+		job:        jobID,
+		attempt:    attempt,
+		parts:      parts,
+		totalCores: total,
+		graph:      job.Graph,
+		kind:       job.Kind,
+		plan:       job.Plan,
+		custom:     job.Custom,
+		steps:      steps,
+		env:        env,
+		col:        metrics.NewCollector(total),
+		tracer:     tracer,
+		stateBytes: make([]atomic.Int64, total),
+	}
+}
+
+// sleepCtx waits d or until ctx ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// fillReport copies the final attempt's collector snapshot and quiescence
+// journal into the step report (earlier attempts' collectors were discarded
+// with their partials).
+func fillReport(rep *StepReport, run *jobRun) {
 	col := run.col
 	in, ex := col.Steals()
 	rep.Balance = col.Balance()
 	if rep.Wall > 0 {
-		rep.Utilization = float64(col.BusyTime()) / (float64(rep.Wall) * float64(cores))
+		rep.Utilization = float64(col.BusyTime()) / (float64(rep.Wall) * float64(run.totalCores))
 		if rep.Utilization > 1 {
 			rep.Utilization = 1
 		}
@@ -330,13 +446,15 @@ func fillReport(rep *StepReport, run *jobRun, cores int) {
 }
 
 // buildReport assembles the run-level observability record.
-func (r *Runtime) buildReport(res *Result, tracer *metrics.Tracer, preStats TransportStats) *RunReport {
+func (r *Runtime) buildReport(res *Result, tracer *metrics.Tracer, preStats TransportStats, retries, workersLost int) *RunReport {
 	rep := &RunReport{
 		Workers:        r.cfg.Workers,
 		CoresPerWorker: r.cfg.CoresPerWorker,
 		WS:             r.cfg.WS.String(),
 		Wall:           res.Wall,
 		Steps:          res.Steps,
+		Retries:        retries,
+		WorkersLost:    workersLost,
 		Transport:      r.transportStats().sub(preStats),
 	}
 	if tracer != nil {
@@ -376,19 +494,19 @@ func (r *Runtime) executeStep(ctx context.Context, run *jobRun, idx int, s *step
 	if run.tracer != nil {
 		run.tracer.Emit(metrics.TraceEvent{Kind: metrics.TraceStepStart, Step: idx, Worker: -1, Core: -1})
 	}
-	startBody := encode(stepStartMsg{Job: run.job, Step: idx})
-	for i := range r.workers {
-		if e := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepStart, Body: startBody}); e != nil {
-			return &WorkerLostError{Worker: i, Phase: "step-start", Err: e}
+	startBody := encode(stepStartMsg{Job: run.job, Step: idx, Attempt: run.attempt, Workers: run.parts})
+	for _, wid := range run.parts {
+		if e := r.master.Send(rpc.NodeID(wid), rpc.Envelope{Kind: kStepStart, Body: startBody}); e != nil {
+			return &WorkerLostError{Worker: wid, Step: idx, Phase: "step-start", Err: e}
 		}
 	}
 	if err := r.awaitQuiescence(ctx, run, idx); err != nil {
 		return err
 	}
-	endBody := encode(stepEndMsg{Job: run.job, Step: idx})
-	for i := range r.workers {
-		if e := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStepEnd, Body: endBody}); e != nil {
-			return &WorkerLostError{Worker: i, Phase: "step-end", Err: e}
+	endBody := encode(stepEndMsg{Job: run.job, Step: idx, Attempt: run.attempt})
+	for _, wid := range run.parts {
+		if e := r.master.Send(rpc.NodeID(wid), rpc.Envelope{Kind: kStepEnd, Body: endBody}); e != nil {
+			return &WorkerLostError{Worker: wid, Step: idx, Phase: "step-end", Err: e}
 		}
 	}
 	if err := r.collectAggregations(ctx, run, idx, s); err != nil {
@@ -420,7 +538,10 @@ func (r *Runtime) broadcastCancel(run *jobRun, idx int) {
 	if run.tracer != nil {
 		run.tracer.Emit(metrics.TraceEvent{Kind: metrics.TraceCancel, Step: idx, Worker: -1, Core: -1})
 	}
-	body := encode(cancelMsg{Job: run.job, Step: idx})
+	body := encode(cancelMsg{Job: run.job, Step: idx, Attempt: run.attempt})
+	// Cancel goes to every worker, not just this attempt's participants: an
+	// excluded worker may still be draining the failed attempt that got it
+	// excluded.
 	for i := range r.workers {
 		r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kCancel, Body: body})
 	}
@@ -445,7 +566,7 @@ func (r *Runtime) broadcastCancel(run *jobRun, idx int) {
 				continue // stale status reports, agg data, …
 			}
 			var m cancelAckMsg
-			if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
+			if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx || m.Attempt != run.attempt {
 				continue
 			}
 			acked[m.Worker] = true
@@ -456,11 +577,21 @@ func (r *Runtime) broadcastCancel(run *jobRun, idx int) {
 }
 
 // quiescence detection: the step is complete when, over two consecutive
-// status rounds, every worker reports zero active cores, the global
-// request/response counters balance (no stolen work in flight), and the
-// monotone processed counter has not advanced. Cores follow the discipline
-// of marking themselves active before acquiring work, which makes
-// "active == 0" imply "no core holds unprocessed work".
+// status rounds, every participant reports that it is running the attempt
+// with zero active cores, the global request/response counters balance (no
+// stolen work in flight), and the monotone processed counter has not
+// advanced. Cores follow the discipline of marking themselves active before
+// acquiring work, which makes "active == 0" imply "no core holds unprocessed
+// work".
+//
+// Beyond the silent-worker timeout, two watchdogs catch losses that silence
+// nothing: a participant whose stepStartMsg was lost keeps answering pings
+// with Running=false (without the Running requirement the master would
+// declare quiescence with that worker's share of the root domain never
+// enumerated), and lost steal traffic leaves the request/response counters
+// imbalanced for good. Either state is indistinguishable from a slow step at
+// any instant — its persistence beyond WorkerTimeout with no progress is
+// what convicts it.
 func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) error {
 	type snap struct {
 		ok        bool
@@ -468,26 +599,28 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 	}
 	var prev snap
 	round := int64(0)
-	reports := make(map[int]statusReportMsg, len(r.workers))
+	reports := make(map[int]statusReportMsg, len(run.parts))
 	ticker := time.NewTicker(r.cfg.StatusInterval)
 	defer ticker.Stop()
 	// lost bounds how long a status round may wait on a silent worker; it is
 	// re-armed every round, so a healthy run never trips it.
 	lost := time.NewTimer(r.cfg.WorkerTimeout)
 	defer lost.Stop()
+	var notRunningSince, imbalancedSince time.Time
+	var imbalancedProcessed int64
 
 	for {
 		round++
 		roundStart := time.Now()
-		ping := encode(statusPingMsg{Job: run.job, Step: idx, Round: round})
-		for i := range r.workers {
-			if err := r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kStatusPing, Body: ping}); err != nil {
-				return &WorkerLostError{Worker: i, Phase: "quiescence", Err: err}
+		ping := encode(statusPingMsg{Job: run.job, Step: idx, Attempt: run.attempt, Round: round})
+		for _, wid := range run.parts {
+			if err := r.master.Send(rpc.NodeID(wid), rpc.Envelope{Kind: kStatusPing, Body: ping}); err != nil {
+				return &WorkerLostError{Worker: wid, Step: idx, Phase: "quiescence", Err: err}
 			}
 		}
 		clear(reports)
 		lost.Reset(r.cfg.WorkerTimeout)
-		for len(reports) < len(r.workers) {
+		for len(reports) < len(run.parts) {
 			select {
 			case env, ok := <-r.master.Recv():
 				if !ok {
@@ -500,20 +633,25 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 				if decode(env.Body, &m) != nil {
 					continue
 				}
-				if m.Job != run.job || m.Step != idx || m.Round != round {
+				if m.Job != run.job || m.Step != idx || m.Attempt != run.attempt || m.Round != round {
 					continue
 				}
 				reports[m.Worker] = m
 			case <-ctx.Done():
 				return ctx.Err()
 			case <-lost.C:
-				return &WorkerLostError{Worker: missingWorker(reports, len(r.workers)), Phase: "quiescence"}
+				return &WorkerLostError{Worker: missingWorker(reports, run.parts), Step: idx, Phase: "quiescence"}
 			}
 		}
 		var cur snap
 		cur.ok = true
+		notRunning := -1
 		var active, reqSent, respRecv, reqRecv, respSent int64
 		for _, m := range reports {
+			if !m.Running {
+				cur.ok = false
+				notRunning = m.Worker
+			}
 			if m.Active != 0 {
 				cur.ok = false
 			}
@@ -524,7 +662,8 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 			reqRecv += m.ReqRecv
 			respSent += m.RespSent
 		}
-		if reqSent != respRecv || reqRecv != respSent {
+		imbalanced := reqSent != respRecv || reqRecv != respSent
+		if imbalanced {
 			cur.ok = false
 		}
 		run.recordRound(idx, QuiescenceRound{
@@ -533,6 +672,30 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 		})
 		if cur.ok && prev.ok && cur.processed == prev.processed {
 			return nil
+		}
+		now := time.Now()
+		if notRunning >= 0 {
+			if notRunningSince.IsZero() {
+				notRunningSince = now
+			} else if now.Sub(notRunningSince) > r.cfg.WorkerTimeout {
+				// The participant is reachable but never received its step
+				// start: its partition of the root domain is not being
+				// enumerated and never will be.
+				return &WorkerLostError{Worker: notRunning, Step: idx, Phase: "step-start"}
+			}
+		} else {
+			notRunningSince = time.Time{}
+		}
+		if imbalanced && (imbalancedSince.IsZero() || cur.processed != imbalancedProcessed) {
+			imbalancedSince, imbalancedProcessed = now, cur.processed
+		} else if !imbalanced {
+			imbalancedSince = time.Time{}
+		} else if now.Sub(imbalancedSince) > r.cfg.WorkerTimeout {
+			// Counters stayed imbalanced with no progress for a full worker
+			// timeout: a steal request or response was lost in flight, and
+			// any work it carried with it. No single worker can be blamed
+			// (Worker -1), so a retry re-executes over the same set.
+			return &WorkerLostError{Worker: -1, Step: idx, Phase: "steal-balance"}
 		}
 		prev = cur
 		select {
@@ -543,11 +706,11 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 	}
 }
 
-// missingWorker returns the lowest worker ID absent from reports.
-func missingWorker(reports map[int]statusReportMsg, workers int) int {
-	for i := 0; i < workers; i++ {
-		if _, ok := reports[i]; !ok {
-			return i
+// missingWorker returns the lowest-ranked participant absent from reports.
+func missingWorker(reports map[int]statusReportMsg, parts []int) int {
+	for _, wid := range parts {
+		if _, ok := reports[wid]; !ok {
+			return wid
 		}
 	}
 	return -1
@@ -585,7 +748,7 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 	// a silent stretch, not merely slow to send many partials.
 	lost := time.NewTimer(r.cfg.WorkerTimeout)
 	defer lost.Stop()
-	for doneWorkers < len(r.workers) {
+	for doneWorkers < len(run.parts) {
 		select {
 		case env, ok := <-r.master.Recv():
 			if !ok {
@@ -595,7 +758,12 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 			switch env.Kind {
 			case kAggData:
 				var m aggDataMsg
-				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
+				// The attempt check is what makes retries exactly-once: a
+				// partial shipped by a failed attempt (still queued when the
+				// master gave up on it) must never fold into the retry's
+				// result — dropping it here is safe precisely because the
+				// retry re-enumerates everything the failed attempt did.
+				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx || m.Attempt != run.attempt {
 					continue
 				}
 				if _, ok := protos[m.Name]; !ok {
@@ -609,7 +777,7 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 				}
 			case kAggDone:
 				var m aggDoneMsg
-				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx {
+				if decode(env.Body, &m) != nil || m.Job != run.job || m.Step != idx || m.Attempt != run.attempt {
 					continue
 				}
 				if len(m.Errs) > 0 {
@@ -628,13 +796,13 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 			return ctx.Err()
 		case <-lost.C:
 			missing := -1
-			for i := 0; i < len(r.workers); i++ {
-				if !done[i] {
-					missing = i
+			for _, wid := range run.parts {
+				if !done[wid] {
+					missing = wid
 					break
 				}
 			}
-			return &WorkerLostError{Worker: missing, Phase: "aggregation"}
+			return &WorkerLostError{Worker: missing, Step: idx, Phase: "aggregation"}
 		}
 	}
 	mergeStart := time.Now()

@@ -18,6 +18,16 @@ import (
 // stepCtx is the per-step execution context shared by a worker's cores.
 type stepCtx struct {
 	job, index int
+	// attempt is the master's execution attempt of this step; messages from
+	// other attempts are discarded.
+	attempt int
+	// parts lists the attempt's participating workers in rank order; rank is
+	// this worker's position in it and base = rank×CoresPerWorker is its
+	// first global core index. Core indices are attempt-scoped — a retry
+	// that excludes a lost worker re-ranks the survivors, and the root
+	// domain is re-partitioned over base..base+cores-1 of totalCores.
+	parts      []int
+	rank, base int
 	s          *step.Step
 	graph      *graph.Graph
 	kind       subgraph.Kind
@@ -164,12 +174,37 @@ func (w *worker) route() {
 // and launches the cores.
 func (w *worker) startStep(m stepStartMsg) {
 	run := w.rt.currentRun()
-	if run == nil || run.job != m.Job || m.Step >= len(run.steps) {
+	if run == nil || run.job != m.Job || run.attempt != m.Attempt || m.Step >= len(run.steps) {
 		return
+	}
+	rank := -1
+	for i, id := range m.Workers {
+		if id == w.id {
+			rank = i
+		}
+	}
+	if rank < 0 {
+		return // excluded from this attempt
+	}
+	// A failed attempt may still be draining here if its cancel message was
+	// lost along with the worker it blamed: stop it before installing the
+	// new step. Its cores can only write into the failed attempt's
+	// discarded collector and aggregations, so nothing it did leaks into
+	// this attempt.
+	w.mu.Lock()
+	stale := w.cur
+	w.mu.Unlock()
+	if stale != nil {
+		stale.cancel()
+		stale.wg.Wait()
 	}
 	st := &stepCtx{
 		job:        m.Job,
 		index:      m.Step,
+		attempt:    m.Attempt,
+		parts:      m.Workers,
+		rank:       rank,
+		base:       rank * w.cfg.CoresPerWorker,
 		s:          run.steps[m.Step],
 		graph:      run.graph,
 		kind:       run.kind,
@@ -177,7 +212,7 @@ func (w *worker) startStep(m stepStartMsg) {
 		custom:     run.custom,
 		env:        run.env,
 		col:        run.col,
-		totalCores: w.cfg.TotalCores(),
+		totalCores: run.totalCores,
 		stateBytes: run.stateBytes,
 		stateTotal: &run.stateTotal,
 		tracer:     run.tracer,
@@ -230,7 +265,7 @@ func (w *worker) endStep(m stepEndMsg) {
 	w.mu.Lock()
 	st := w.cur
 	w.mu.Unlock()
-	if st == nil || st.job != m.Job || st.index != m.Step {
+	if st == nil || st.job != m.Job || st.index != m.Step || st.attempt != m.Attempt {
 		return
 	}
 	st.finish()
@@ -261,7 +296,7 @@ func (w *worker) endStep(m stepEndMsg) {
 			}
 		}
 		if stepErr == nil {
-			msg := aggDataMsg{Job: st.job, Step: st.index, Worker: w.id, Name: sp.Name, Data: data}
+			msg := aggDataMsg{Job: st.job, Step: st.index, Attempt: st.attempt, Worker: w.id, Name: sp.Name, Data: data}
 			if err := w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggData, Body: encode(msg)}); err != nil {
 				stepErr = fmt.Errorf("shipping %q: %w", sp.Name, err)
 			}
@@ -274,7 +309,7 @@ func (w *worker) endStep(m stepEndMsg) {
 		sent++
 	}
 	st.col.AddAggMergeTime(time.Since(mergeStart))
-	done := aggDoneMsg{Job: st.job, Step: st.index, Worker: w.id, Sent: sent, Errs: errs}
+	done := aggDoneMsg{Job: st.job, Step: st.index, Attempt: st.attempt, Worker: w.id, Sent: sent, Errs: errs}
 	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kAggDone, Body: encode(done)})
 }
 
@@ -287,7 +322,7 @@ func (w *worker) cancelStep(m cancelMsg) {
 	w.mu.Lock()
 	st := w.cur
 	w.mu.Unlock()
-	if st != nil && st.job == m.Job && st.index == m.Step {
+	if st != nil && st.job == m.Job && st.index == m.Step && st.attempt == m.Attempt {
 		st.cancel()
 		st.wg.Wait()
 		w.mu.Lock()
@@ -298,7 +333,7 @@ func (w *worker) cancelStep(m cancelMsg) {
 	}
 	// Ack unconditionally (also when the step was never ours or already
 	// over) so the master's drain wait is not held up by healthy workers.
-	ack := cancelAckMsg{Job: m.Job, Step: m.Step, Worker: w.id}
+	ack := cancelAckMsg{Job: m.Job, Step: m.Step, Attempt: m.Attempt, Worker: w.id}
 	w.tr.Send(rpc.Master, rpc.Envelope{Kind: kCancelAck, Body: encode(ack)})
 }
 
@@ -314,19 +349,23 @@ func (w *worker) abortCurrent() {
 	}
 }
 
-// reportStatus answers a quiescence ping.
+// reportStatus answers a quiescence ping. Running tells the master whether
+// this worker is actually executing the pinged attempt — answering pings
+// while never having received the step start is exactly the state the
+// master's step-start watchdog exists to catch.
 func (w *worker) reportStatus(m statusPingMsg) {
 	w.mu.Lock()
 	st := w.cur
 	w.mu.Unlock()
 	rep := statusReportMsg{
-		Job: m.Job, Step: m.Step, Round: m.Round, Worker: w.id,
+		Job: m.Job, Step: m.Step, Attempt: m.Attempt, Round: m.Round, Worker: w.id,
 		ReqSent:  w.reqSent.Load(),
 		RespRecv: w.respRecv.Load(),
 		ReqRecv:  w.reqRecv.Load(),
 		RespSent: w.respSent.Load(),
 	}
-	if st != nil && st.job == m.Job && st.index == m.Step {
+	if st != nil && st.job == m.Job && st.index == m.Step && st.attempt == m.Attempt {
+		rep.Running = true
 		rep.Active = st.active.Load()
 		rep.Processed = st.processed.Load()
 	}
@@ -337,21 +376,34 @@ func (w *worker) reportStatus(m statusPingMsg) {
 // local cores' stacks shallowest-first (the separate donor thread of
 // Figure 9(b) is this router goroutine).
 func (w *worker) serveSteal(m stealReqMsg) {
-	w.reqRecv.Add(1)
-	resp := stealRespMsg{Job: m.Job, Step: m.Step, Core: m.Core}
+	resp := stealRespMsg{Job: m.Job, Step: m.Step, Attempt: m.Attempt, Core: m.Core}
 	w.mu.Lock()
 	st := w.cur
 	w.mu.Unlock()
-	if st != nil && st.job == m.Job && st.index == m.Step && !st.halted() {
-		for _, c := range w.cores {
-			if prefix, ok := c.stack.StealShallowest(); ok {
-				resp.Prefix = prefix
-				break
+	// Steal counters feed the master's balance check for the attempt the
+	// counters were reset for, so only requests of the attempt under
+	// execution are counted — a stale request from an abandoned attempt
+	// still gets its (empty) response, but booking it would permanently skew
+	// the new attempt's balance and stall quiescence.
+	match := st != nil && st.job == m.Job && st.index == m.Step && st.attempt == m.Attempt
+	if match {
+		w.reqRecv.Add(1)
+		if !st.halted() {
+			for _, c := range w.cores {
+				if prefix, ok := c.stack.StealShallowest(); ok {
+					resp.Prefix = prefix
+					break
+				}
 			}
 		}
+		w.respSent.Add(1)
 	}
-	w.respSent.Add(1)
 	w.tr.Send(rpc.NodeID(m.Worker), rpc.Envelope{Kind: kStealResp, Body: encode(resp)})
+}
+
+// stepMatches reports whether st is the step attempt the message refers to.
+func stepMatches(st *stepCtx, job, index, attempt int) bool {
+	return st != nil && st.job == job && st.index == index && st.attempt == attempt
 }
 
 // routeStealResp hands a steal response to the requesting core. Receipt is
@@ -359,6 +411,14 @@ func (w *worker) serveSteal(m stealReqMsg) {
 // router, so the master's balance check certifies that no response (and
 // hence no stolen work) is in flight.
 func (w *worker) routeStealResp(m stealRespMsg) {
+	w.mu.Lock()
+	st := w.cur
+	w.mu.Unlock()
+	// Mirror of serveSteal's gating: only responses of the attempt under
+	// execution count toward (or are routed into) it.
+	if !stepMatches(st, m.Job, m.Step, m.Attempt) {
+		return
+	}
 	w.respRecv.Add(1)
 	if m.Core < 0 || m.Core >= len(w.cores) {
 		return

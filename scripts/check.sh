@@ -1,7 +1,8 @@
 #!/bin/sh
 # check.sh runs the full verification suite: static analysis, a build of
-# every package, and the tests under the race detector. CI and the Makefile
-# `check` target both call this script.
+# every package, the tests, and the seeded fault-injection smoke. The race
+# detector runs as its own CI job (`make check-race`) so this path stays
+# fast. CI and the Makefile `check` target both call this script.
 set -eux
 cd "$(dirname "$0")/.."
 unformatted=$(gofmt -l .)
@@ -12,4 +13,5 @@ if [ -n "$unformatted" ]; then
 fi
 go vet ./...
 go build ./...
-go test -race ./...
+go test ./...
+make chaos

@@ -1,7 +1,14 @@
-.PHONY: check check-race chaos test build vet bench bench-micro bench-agg bench-plan fuzz-agg fuzz-plan
+.PHONY: check check-race check-dist chaos test build vet bench bench-micro bench-agg bench-plan fuzz-agg fuzz-plan
 
 check:
 	./scripts/check.sh
+
+# Distributed-deployment verification: builds the fractal and fractal-worker
+# binaries and runs the distributed differential suite (TCP loopback
+# workers, real worker OS processes, SIGKILL-mid-step recovery; results must
+# match the in-process engine bit for bit).
+check-dist:
+	./scripts/check_dist.sh
 
 # Full test suite under the race detector. CI runs this as a dedicated job
 # so the main check stays fast; the retry/fault-injection paths are the

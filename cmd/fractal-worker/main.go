@@ -1,0 +1,52 @@
+// Command fractal-worker runs one worker process of a distributed fractal
+// deployment: it connects to a master (a fractal.Context created with
+// WithListenAddr, e.g. `fractal -listen`), registers, and serves steps until
+// the master goes away or the process is signalled.
+//
+// Usage:
+//
+//	fractal-worker -master <host:port> [-listen <addr>] [-cores <n>]
+//
+// The master dictates the execution configuration (cores per worker, work
+// stealing, timeouts) in its registration reply; -cores is advisory. Job
+// specs name graphs by path, so the graph files must be readable at the
+// same paths on this machine.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fractal"
+	// Registers the distributable applications (cliques, motifs, fsm); a
+	// worker can only materialize specs for apps linked into its binary.
+	_ "fractal/internal/apps"
+)
+
+func main() {
+	var (
+		master = flag.String("master", "", "master address to register with (required)")
+		listen = flag.String("listen", "", "this worker's own listener address (default 127.0.0.1:0; use :0 to serve remote peers)")
+		cores  = flag.Int("cores", 0, "advertised execution cores (advisory; 0: decided by the master)")
+	)
+	flag.Parse()
+	if *master == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *cores < 0 {
+		fmt.Fprintf(os.Stderr, "fractal-worker: -cores must not be negative, got %d\n", *cores)
+		os.Exit(2)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	err := fractal.ServeWorker(ctx, *master, fractal.WorkerOptions{ListenAddr: *listen, Cores: *cores})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "fractal-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,15 @@
 //
 // Runtime flags: -workers, -cores, -ws (none|internal|external|both), -tcp.
 //
+// Distributed flags:
+//
+//	-listen <addr>       run as a distributed master: serve registrations
+//	                     from fractal-worker processes on addr and execute
+//	                     the app across them (motifs, cliques, triangles,
+//	                     fsm). The graph path must be readable by every
+//	                     worker process.
+//	-min-workers <n>     wait for n worker registrations before starting
+//
 // Plan flags:
 //
 //	-engine <plan|canon>  motifs/cliques execution engine: compiled
@@ -36,14 +45,17 @@
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 
 	"fractal"
 	"fractal/internal/apps"
@@ -81,10 +93,29 @@ func main() {
 		explain    = flag.Bool("explain", false, "print the compiled plan(s) for the selected app and exit (no graph needed)")
 		retries    = flag.Int("retries", 0, "re-execute a step up to n times after a worker loss (0: a loss fails the run)")
 		retryWait  = flag.Duration("retry-backoff", 0, "pause between step retry attempts (default 5ms)")
+		listenAddr = flag.String("listen", "", "run as distributed master: serve worker registrations on this address")
+		minWorkers = flag.Int("min-workers", 0, "wait for this many worker registrations before starting (-listen)")
 	)
 	flag.Parse()
 	if *engine != "plan" && *engine != "canon" {
 		fatal(fmt.Errorf("unknown -engine %q (want plan or canon)", *engine))
+	}
+	// Reject silently-wrong runtime shapes up front, with flag-level messages
+	// (the library rejects them too, as ConfigError).
+	if *workers < 1 {
+		fatal(fmt.Errorf("-workers must be at least 1, got %d", *workers))
+	}
+	if *cores < 1 {
+		fatal(fmt.Errorf("-cores must be at least 1, got %d", *cores))
+	}
+	if *retries < 0 {
+		fatal(fmt.Errorf("-retries must not be negative, got %d", *retries))
+	}
+	if *minWorkers < 0 {
+		fatal(fmt.Errorf("-min-workers must not be negative, got %d", *minWorkers))
+	}
+	if *minWorkers > 0 && *listenAddr == "" {
+		fatal(fmt.Errorf("-min-workers requires -listen"))
 	}
 	if *explain {
 		if *app == "" {
@@ -109,7 +140,7 @@ func main() {
 
 	cfg := fractal.Config{
 		Workers: *workers, CoresPerWorker: *cores, UseTCP: *useTCP, Trace: *traceOn,
-		StepRetries: *retries, RetryBackoff: *retryWait,
+		StepRetries: *retries, RetryBackoff: *retryWait, ListenAddr: *listenAddr,
 	}
 	switch *wsMode {
 	case "none":
@@ -128,6 +159,16 @@ func main() {
 		fatal(err)
 	}
 	defer ctx.Close()
+	if *listenAddr != "" {
+		last := runMaster(ctx, *app, *graphPath, *k, *support, *maxEdges, *minWorkers)
+		if last != nil && last.Report != nil {
+			lastReport.Store(last.Report)
+		}
+		if *metricsOut != "" {
+			check(writeMetrics(*metricsOut, last))
+		}
+		return
+	}
 	g, err := ctx.LoadGraph(*graphPath)
 	if err != nil {
 		fatal(err)
@@ -204,6 +245,50 @@ func main() {
 	if *metricsOut != "" {
 		check(writeMetrics(*metricsOut, last))
 	}
+}
+
+// runMaster executes the selected app across registered fractal-worker
+// processes through the spec protocol. The graph is named by path — every
+// worker loads it from its own filesystem — and interruption (SIGINT,
+// SIGTERM) cancels the run cleanly through the step protocol.
+func runMaster(fc *fractal.Context, app, graphPath string, k int, support int64, maxEdges, minWorkers int) *fractal.Result {
+	fmt.Printf("master listening on %s\n", fc.ListenAddr())
+	runCtx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if minWorkers > 0 {
+		fmt.Printf("waiting for %d worker(s)...\n", minWorkers)
+		check(fc.AwaitWorkers(runCtx, minWorkers))
+	}
+	switch app {
+	case "triangles":
+		k = 3
+		fallthrough
+	case "cliques":
+		n, res, err := apps.CliquesDist(runCtx, fc, graphPath, k)
+		check(err)
+		fmt.Printf("%d-cliques: %d (EC=%d, %s)\n", k, n, res.TotalEC(), res.Wall)
+		return res
+	case "motifs":
+		m, res, err := apps.MotifsDist(runCtx, fc, graphPath, k)
+		check(err)
+		fmt.Printf("%d-vertex motifs [distributed]: %d classes, %d subgraphs, EC=%d, %s\n",
+			k, len(m), m.Total(), res.TotalEC(), res.Wall)
+		for code, pc := range m {
+			fmt.Printf("  %x: %d  %v\n", code[:min(8, len(code))], pc.Count, pc.Pat)
+		}
+		return res
+	case "fsm":
+		res, err := apps.FSMDist(runCtx, fc, graphPath, support, maxEdges)
+		check(err)
+		fmt.Printf("frequent patterns (support >= %d): %d, per level %v\n",
+			support, len(res.Frequent), res.PerLevel)
+		for _, ds := range res.Frequent {
+			fmt.Printf("  s=%d  %v\n", ds.Support(), ds.Pat)
+		}
+		return res.Last
+	}
+	fatal(fmt.Errorf("app %q has no distributed form (want motifs, cliques, triangles, or fsm)", app))
+	return nil
 }
 
 // writeMetrics dumps the run's RunReport as JSON to path.

@@ -25,6 +25,7 @@
 package fractal
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -148,6 +149,71 @@ type FaultInjector = rpc.FaultInjector
 // shipping a partially merged (wrong) or missing aggregation.
 type AggregationError = sched.AggregationError
 
+// ConfigError re-exports the typed error returned when a configuration
+// option or Config field is rejected by validation; match it with errors.As.
+type ConfigError = sched.ConfigError
+
+// JobSpec re-exports the serializable job description of distributed
+// deployments: a registered application name, a graph path, and string
+// arguments, from which master and worker processes each materialize an
+// identical job. Submit one with Context.RunSpec.
+type JobSpec = sched.JobSpec
+
+// SpecBuilder re-exports the materializer interface behind registered
+// applications (RegisterApp). Its method signatures use RawGraph, AggStore
+// and Job so that modules outside this one can implement it.
+type SpecBuilder = sched.SpecBuilder
+
+// RawGraph re-exports the runtime adjacency representation: what Graph.Raw
+// returns and what SpecBuilder.Build receives. Wrap one with NewBuildGraph
+// to compose fractoids from it.
+type RawGraph = graph.Graph
+
+// Job re-exports the executable job description that Fractoid.Job produces
+// and SpecBuilder.Build returns.
+type Job = sched.Job
+
+// AggStore re-exports the aggregation store interface whose prototypes
+// SpecBuilder.EnvProtos supplies as wire decode templates.
+type AggStore = agg.Store
+
+// WorkerOptions re-exports the configuration of a worker process
+// (ServeWorker).
+type WorkerOptions = sched.ServeWorkerOptions
+
+// RegisterApp installs a spec builder for an application name. Both the
+// master and every worker binary must register the same apps (typically in
+// an init function of the package defining the app).
+func RegisterApp(name string, b SpecBuilder) { sched.RegisterApp(name, b) }
+
+// NewAggregation returns an empty aggregation store with the given
+// reduction: the prototype shape SpecBuilder.EnvProtos supplies as the
+// decode template for environment values arriving off the wire.
+func NewAggregation[K comparable, V any](reduce func(V, V) V) AggStore {
+	return agg.New[K, V](reduce)
+}
+
+// AggregationEntries reads the named aggregation of a result environment as
+// a plain map — the RunSpec counterpart of AggregationMapCtx. The type
+// parameters must match the aggregation's declared key and value types.
+func AggregationEntries[K comparable, V any](env *Aggregations, name string) (map[K]V, error) {
+	a, err := agg.Typed[K, V](env, name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Entries(), nil
+}
+
+// ServeWorker runs this process as a fractal worker: bind a listener,
+// register with the master at masterAddr, and serve steps until the master
+// shuts the worker down (nil return), the transport fails, or ctx ends. The
+// master dictates the execution configuration (cores, work stealing,
+// timeouts) in its registration reply. This is the library entry point
+// behind cmd/fractal-worker.
+func ServeWorker(ctx context.Context, masterAddr string, opts WorkerOptions) error {
+	return sched.ServeWorker(ctx, masterAddr, opts)
+}
+
 // ReadRunReport parses a RunReport written by RunReport.WriteJSON (the
 // cmd/fractal --metrics-out format).
 func ReadRunReport(r io.Reader) (*RunReport, error) { return sched.ReadRunReport(r) }
@@ -162,31 +228,79 @@ type Context struct {
 
 // Option configures a Context. Options are applied in order over a default
 // configuration of one worker, one core, hierarchical work stealing, and
-// the in-process loopback transport.
-type Option func(*Config)
+// the in-process loopback transport. An option returns an error when its
+// argument is nonsensical (zero workers, negative retries, …) — previously
+// such values were silently coerced to defaults, hiding deployment typos;
+// match the error with errors.As against *ConfigError.
+type Option func(*Config) error
 
-// WithWorkers sets the number of worker nodes.
-func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+// WithWorkers sets the number of worker nodes (at least 1).
+func WithWorkers(n int) Option {
+	return func(c *Config) error {
+		if n < 1 {
+			return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("must be at least 1, got %d", n)}
+		}
+		c.Workers = n
+		return nil
+	}
+}
 
-// WithCores sets the number of execution cores per worker.
-func WithCores(n int) Option { return func(c *Config) { c.CoresPerWorker = n } }
+// WithCores sets the number of execution cores per worker (at least 1).
+func WithCores(n int) Option {
+	return func(c *Config) error {
+		if n < 1 {
+			return &ConfigError{Field: "CoresPerWorker", Reason: fmt.Sprintf("must be at least 1, got %d", n)}
+		}
+		c.CoresPerWorker = n
+		return nil
+	}
+}
 
 // WithWS selects the work-stealing configuration (WSNone, WSInternal,
 // WSExternal, WSBoth).
-func WithWS(ws sched.WorkStealing) Option { return func(c *Config) { c.WS = ws } }
+func WithWS(ws sched.WorkStealing) Option {
+	return func(c *Config) error {
+		if ws > WSBoth {
+			return &ConfigError{Field: "WS", Reason: fmt.Sprintf("unknown work-stealing mode %d", ws)}
+		}
+		c.WS = ws
+		return nil
+	}
+}
 
 // WithTCP runs master/worker communication over real TCP sockets on
 // 127.0.0.1 instead of in-process mailboxes.
-func WithTCP() Option { return func(c *Config) { c.UseTCP = true } }
+func WithTCP() Option { return func(c *Config) error { c.UseTCP = true; return nil } }
+
+// WithListenAddr switches the context into distributed master mode: no
+// in-process workers; instead the master binds a TCP listener at addr (e.g.
+// ":7001", or "127.0.0.1:0" for tests — read the bound address back with
+// Context.ListenAddr) and serves registrations from fractal-worker processes
+// (ServeWorker / cmd/fractal-worker). Jobs are then submitted as
+// serializable specs through Context.RunSpec; the worker set is elastic, and
+// workers that register mid-job join at the next step attempt.
+func WithListenAddr(addr string) Option {
+	return func(c *Config) error {
+		if addr == "" {
+			return &ConfigError{Field: "ListenAddr", Reason: "must not be empty"}
+		}
+		c.ListenAddr = addr
+		return nil
+	}
+}
 
 // WithStepTimeout bounds the wall-clock time of each fractal step; a step
 // exceeding it is cancelled and execution returns an error wrapping
 // context.DeadlineExceeded.
-func WithStepTimeout(d time.Duration) Option { return func(c *Config) { c.StepTimeout = d } }
+func WithStepTimeout(d time.Duration) Option {
+	return func(c *Config) error { c.StepTimeout = d; return nil }
+}
 
 // WithWorkerTimeout sets how long the master waits for a silent worker
 // before failing the job with a *sched.WorkerLostError.
-func WithWorkerTimeout(d time.Duration) Option { return func(c *Config) { c.WorkerTimeout = d } }
+func WithWorkerTimeout(d time.Duration) Option {
+	return func(c *Config) error { c.WorkerTimeout = d; return nil }
+}
 
 // WithStepRetries makes runs survive worker loss: on a WorkerLostError the
 // master discards the failed attempt's partials, excludes the lost worker
@@ -196,39 +310,52 @@ func WithWorkerTimeout(d time.Duration) Option { return func(c *Config) { c.Work
 // When the budget runs out the job fails with a *RetryExhaustedError. Note
 // that Visit callbacks are at-least-once under retries (a failed attempt's
 // visits cannot be unrun); counting and aggregation stay exact.
-func WithStepRetries(n int) Option { return func(c *Config) { c.StepRetries = n } }
+func WithStepRetries(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return &ConfigError{Field: "StepRetries", Reason: fmt.Sprintf("must not be negative, got %d", n)}
+		}
+		c.StepRetries = n
+		return nil
+	}
+}
 
 // WithRetryBackoff sets the pause between a worker-loss failure and the next
 // attempt of the step (default 5ms). Only meaningful with WithStepRetries.
-func WithRetryBackoff(d time.Duration) Option { return func(c *Config) { c.RetryBackoff = d } }
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *Config) error { c.RetryBackoff = d; return nil }
+}
 
 // WithFaultInjector installs a transport fault injector (drop, delay, or
 // sever scheduled by an rpc.Script): every message send of the master and
 // the workers consults it first. This is the chaos-testing harness behind
 // the retry machinery's differential tests.
-func WithFaultInjector(inj FaultInjector) Option { return func(c *Config) { c.FaultInjector = inj } }
+func WithFaultInjector(inj FaultInjector) Option {
+	return func(c *Config) error { c.FaultInjector = inj; return nil }
+}
 
 // WithTrace enables the structured trace journal: every run records step
 // start/end, quiescence rounds, steal attempts and outcomes, and
 // cancellation/drain events into a bounded ring exposed through
 // Result.Report.Trace. With tracing disabled (the default) every event
 // site costs a single nil check and no allocation.
-func WithTrace() Option { return func(c *Config) { c.Trace = true } }
+func WithTrace() Option { return func(c *Config) error { c.Trace = true; return nil } }
 
 // WithTraceCapacity enables tracing with an explicit journal capacity in
 // events (the default is metrics.DefaultTraceCapacity, 16384); when the
 // ring fills, the oldest events are overwritten and
 // Result.Report.TraceDropped counts the loss.
 func WithTraceCapacity(n int) Option {
-	return func(c *Config) {
+	return func(c *Config) error {
 		c.Trace = true
 		c.TraceCapacity = n
+		return nil
 	}
 }
 
 // WithConfig replaces the whole configuration with cfg, an escape hatch for
 // callers that already hold a Config value. Options after it still apply.
-func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+func WithConfig(cfg Config) Option { return func(c *Config) error { *c = cfg; return nil } }
 
 // NewContext starts a runtime configured by the given options:
 //
@@ -239,7 +366,9 @@ func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
 func NewContext(opts ...Option) (*Context, error) {
 	cfg := Config{WS: WSBoth}
 	for _, o := range opts {
-		o(&cfg)
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
 	}
 	return newContext(cfg)
 }
@@ -268,6 +397,28 @@ func (c *Context) Close() { c.rt.Close() }
 // Config returns the effective runtime configuration.
 func (c *Context) Config() Config { return c.rt.Config() }
 
+// ListenAddr returns the bound address of the master listener of a
+// WithListenAddr context ("" otherwise); with ":0" this is how the actual
+// port is learned.
+func (c *Context) ListenAddr() string { return c.rt.ListenAddr() }
+
+// AwaitWorkers blocks until at least n worker processes have registered
+// with a WithListenAddr context, or ctx ends.
+func (c *Context) AwaitWorkers(ctx context.Context, n int) error {
+	return c.rt.AwaitWorkers(ctx, n)
+}
+
+// RunSpec executes a serializable job spec: the registered application is
+// materialized against the spec's graph and arguments and run through the
+// step protocol. It works on every context — in-process ones build and run
+// the job locally, exactly as the fluent API would (which is what lets tests
+// compare the two paths bit for bit); WithListenAddr masters distribute the
+// spec to the registered worker processes. env carries aggregations from
+// previous jobs the workflow reads (nil for none).
+func (c *Context) RunSpec(ctx context.Context, spec JobSpec, env *Aggregations) (*sched.Result, error) {
+	return c.rt.RunSpec(ctx, spec, env)
+}
+
 // LoadGraph loads a graph file (operator I1 of Figure 2). The format is
 // chosen by extension: ".graph" adjacency list, ".el" labeled edge list; a
 // "<path>.kw" keyword sidecar is applied when present.
@@ -288,6 +439,12 @@ func (c *Context) AdjacencyList(path string) (*Graph, error) { return c.LoadGrap
 
 // FromGraph wraps an in-memory graph as a fractal graph.
 func (c *Context) FromGraph(g *graph.Graph) *Graph { return &Graph{ctx: c, g: g} }
+
+// NewBuildGraph wraps an in-memory graph as a fractal graph with no
+// context: fractoids derived from it can compose workflows and export them
+// with Fractoid.Job, but cannot execute. Spec builders (SpecBuilder.Build)
+// use it to construct jobs inside worker processes, where no Context exists.
+func NewBuildGraph(g *graph.Graph) *Graph { return &Graph{g: g} }
 
 // Graph is a fractal graph: the handle fractoids are derived from. It also
 // exposes the graph reduction operators of Figure 10.

@@ -183,6 +183,26 @@ func CombineResults(results ...*Result) *Result {
 	return out
 }
 
+// Job exports the fractoid as a runtime job description without executing
+// it. This is how spec builders (SpecBuilder.Build) turn a fluently composed
+// workflow into the sched.Job a worker process runs: compose against a
+// NewBuildGraph handle — no Context needed — and return the export. The
+// error surfaces any defect accumulated while composing (bad plan, invalid
+// primitive combination).
+func (f *Fractoid) Job() (sched.Job, error) {
+	if f.err != nil {
+		return sched.Job{}, f.err
+	}
+	return sched.Job{
+		Graph:    f.fg.g,
+		Kind:     f.kind,
+		Plan:     f.plan,
+		Custom:   f.custom,
+		Workflow: f.wf,
+		Env:      f.env,
+	}, nil
+}
+
 // run executes the fractoid's workflow under ctx. On cancellation it
 // returns the partial Result (last step marked Cancelled) together with the
 // error, so callers can observe how far execution got.
@@ -190,14 +210,11 @@ func (f *Fractoid) run(ctx context.Context) (*Result, error) {
 	if f.err != nil {
 		return nil, f.err
 	}
-	res, err := f.fg.ctx.rt.Run(ctx, sched.Job{
-		Graph:    f.fg.g,
-		Kind:     f.kind,
-		Plan:     f.plan,
-		Custom:   f.custom,
-		Workflow: f.wf,
-		Env:      f.env,
-	})
+	job, err := f.Job()
+	if err != nil {
+		return nil, err
+	}
+	res, err := f.fg.ctx.rt.Run(ctx, job)
 	if res == nil {
 		return nil, err
 	}

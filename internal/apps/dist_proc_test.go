@@ -1,0 +1,198 @@
+package apps
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fractal"
+	"fractal/internal/workload"
+)
+
+// Cross-process end-to-end suite: the master is this test process (a
+// WithListenAddr context), the workers are real fractal-worker OS processes
+// built from cmd/fractal-worker. This is the deployment shape the binaries
+// ship, including surviving a SIGKILL mid-step — no goroutine stand-ins.
+
+var (
+	workerBinOnce sync.Once
+	workerBinPath string
+	workerBinErr  error
+)
+
+// workerBin builds the fractal-worker binary once per test process.
+func workerBin(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	workerBinOnce.Do(func() {
+		dir, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			workerBinErr = err
+			return
+		}
+		// Not a t.TempDir: the binary outlives the first test that builds it.
+		tmp, err := os.MkdirTemp("", "fractal-dist-bin-")
+		if err != nil {
+			workerBinErr = err
+			return
+		}
+		workerBinPath = filepath.Join(tmp, "fractal-worker")
+		cmd := exec.Command("go", "build", "-o", workerBinPath, "./cmd/fractal-worker")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			workerBinErr = err
+			t.Logf("go build cmd/fractal-worker: %s", out)
+		}
+	})
+	if workerBinErr != nil {
+		t.Fatalf("building fractal-worker: %v", workerBinErr)
+	}
+	return workerBinPath
+}
+
+// workerProc is one spawned fractal-worker OS process.
+type workerProc struct {
+	cmd *exec.Cmd
+	out bytes.Buffer
+}
+
+// spawnWorkerProc launches a fractal-worker process against masterAddr and
+// registers cleanup that terminates it and reaps the child.
+func spawnWorkerProc(t *testing.T, bin, masterAddr string) *workerProc {
+	t.Helper()
+	p := &workerProc{cmd: exec.Command(bin, "-master", masterAddr, "-cores", "2")}
+	p.cmd.Stdout = &p.out
+	p.cmd.Stderr = &p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("starting fractal-worker: %v", err)
+	}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+		if t.Failed() && p.out.Len() > 0 {
+			t.Logf("fractal-worker pid %d output:\n%s", p.cmd.Process.Pid, p.out.String())
+		}
+	})
+	return p
+}
+
+// TestDistProcesses runs one master and two fractal-worker OS processes and
+// requires counts bit-identical to the in-process kernels.
+func TestDistProcesses(t *testing.T) {
+	bin := workerBin(t)
+	path := writeGraphFile(t, workload.ErdosRenyi("dist-proc", 60, 220, 3, 51))
+	oracle, load := inProcessOracle(t)
+	wantCliques, _, err := Cliques(oracle, load(path), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMotifs, _, err := Motifs(oracle, load(path), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := distMaster(t)
+	spawnWorkerProc(t, bin, master.ListenAddr())
+	spawnWorkerProc(t, bin, master.ListenAddr())
+	awaitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := master.AwaitWorkers(awaitCtx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res, err := CliquesDist(context.Background(), master, path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantCliques {
+		t.Errorf("cross-process cliques=%d, want %d", got, wantCliques)
+	}
+	if res.Report.Workers != 2 {
+		t.Errorf("report should record 2 worker processes, says %d", res.Report.Workers)
+	}
+	gotMotifs, _, err := MotifsDist(context.Background(), master, path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifCountsEqual(t, "cross-process motifs", 3, gotMotifs, wantMotifs)
+}
+
+// TestDistProcessSIGKILL kills one of two worker processes mid-step with
+// SIGKILL — no shutdown handshake, sockets torn down by the kernel — and
+// requires the master to detect the loss, discard the attempt, and retry on
+// the survivor for an exact count.
+func TestDistProcessSIGKILL(t *testing.T) {
+	bin := workerBin(t)
+	path := writeGraphFile(t, workload.ErdosRenyi("dist-kill", 80, 400, 1, 52))
+	oracle, load := inProcessOracle(t)
+	want, _, err := Cliques(oracle, load(path), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy pass, doubling as the wall-clock measurement the kill timing
+	// is derived from.
+	master := distMaster(t)
+	spawnWorkerProc(t, bin, master.ListenAddr())
+	spawnWorkerProc(t, bin, master.ListenAddr())
+	awaitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := master.AwaitWorkers(awaitCtx, 2); err != nil {
+		t.Fatal(err)
+	}
+	healthy, res, err := CliquesDist(context.Background(), master, path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy != want {
+		t.Fatalf("healthy cross-process cliques=%d, want %d", healthy, want)
+	}
+
+	// Killed pass: fresh master and workers, SIGKILL the first worker a
+	// third of the healthy wall into the run.
+	master2 := distMaster(t)
+	victim := spawnWorkerProc(t, bin, master2.ListenAddr())
+	spawnWorkerProc(t, bin, master2.ListenAddr())
+	awaitCtx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := master2.AwaitWorkers(awaitCtx2, 2); err != nil {
+		t.Fatal(err)
+	}
+	delay := res.Wall / 3
+	if delay < 5*time.Millisecond {
+		delay = 5 * time.Millisecond
+	}
+	type out struct {
+		n   int64
+		res *fractal.Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		n, r, err := CliquesDist(context.Background(), master2, path, 4)
+		done <- out{n, r, err}
+	}()
+	time.Sleep(delay)
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL worker: %v", err)
+	}
+	victim.cmd.Wait()
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("run with SIGKILLed worker: %v", r.err)
+	}
+	if r.n != want {
+		t.Errorf("cliques with SIGKILLed worker=%d, want %d", r.n, want)
+	}
+	// Whether the kill landed mid-step depends on scheduling; when it did,
+	// the report must account for it.
+	t.Logf("kill after %v (healthy wall %v): lost=%d retries=%d",
+		delay, res.Wall, r.res.Report.WorkersLost, r.res.Report.Retries)
+}

@@ -1,0 +1,351 @@
+package apps
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fractal"
+	"fractal/internal/graph"
+	"fractal/internal/rpc"
+	"fractal/internal/sched"
+	"fractal/internal/workload"
+)
+
+// Distributed differential suite: the spec-protocol drivers (CliquesDist,
+// MotifsDist, FSMDist) run against a master-mode context serving real
+// ServeWorker instances over TCP loopback, and their results must be
+// bit-identical to the in-process kernels on the same graph file. The same
+// drivers also run on a plain in-process context (RunSpec's local path),
+// which isolates builder determinism from the wire protocol.
+
+// writeGraphFile persists g as a labeled edge list; distributed specs name
+// graphs by path, so master and workers each load this file.
+func writeGraphFile(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), g.Name()+".el")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// distMaster builds a master-mode context with the retry budget and short
+// loss-detection timeout the loss tests rely on.
+func distMaster(t *testing.T, extra ...fractal.Option) *fractal.Context {
+	t.Helper()
+	opts := []fractal.Option{
+		fractal.WithListenAddr("127.0.0.1:0"), fractal.WithCores(2),
+		fractal.WithStepRetries(3), fractal.WithRetryBackoff(time.Millisecond),
+		fractal.WithWorkerTimeout(600 * time.Millisecond),
+	}
+	ctx, err := fractal.NewContext(append(opts, extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctx.Close)
+	return ctx
+}
+
+// startWorker serves one in-goroutine worker against the master address and
+// returns its stop function (idempotent, also registered as cleanup).
+func startWorker(t *testing.T, masterAddr string, opts fractal.WorkerOptions) (stop func()) {
+	t.Helper()
+	wctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fractal.ServeWorker(wctx, masterAddr, opts)
+	}()
+	stop = func() {
+		cancel()
+		<-done
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// inProcessOracle loads the same graph file into a plain context, so the
+// distributed runs are compared against the identical parsed graph.
+func inProcessOracle(t *testing.T) (*fractal.Context, func(path string) *fractal.Graph) {
+	t.Helper()
+	ctx, err := fractal.NewContext(fractal.WithCores(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctx.Close)
+	return ctx, func(path string) *fractal.Graph {
+		g, err := ctx.LoadGraph(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+}
+
+// TestDistSpecBuildersInProcess exercises RunSpec's local path: the spec
+// builders must reproduce the fluent kernels exactly with no network
+// involved, which pins builder determinism down before the wire enters the
+// picture.
+func TestDistSpecBuildersInProcess(t *testing.T) {
+	ctx, load := inProcessOracle(t)
+	runCtx := context.Background()
+
+	t.Run("cliques", func(t *testing.T) {
+		path := writeGraphFile(t, workload.ErdosRenyi("dist-local-cl", 60, 220, 1, 41))
+		want, _, err := Cliques(ctx, load(path), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := CliquesDist(runCtx, ctx, path, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("CliquesDist=%d, want %d", got, want)
+		}
+	})
+	t.Run("motifs", func(t *testing.T) {
+		path := writeGraphFile(t, workload.ErdosRenyi("dist-local-mo", 60, 220, 3, 42))
+		want, _, err := Motifs(ctx, load(path), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := MotifsDist(runCtx, ctx, path, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		motifCountsEqual(t, "local spec motifs", 3, got, want)
+	})
+	t.Run("fsm", func(t *testing.T) {
+		path := writeGraphFile(t, workload.Community("dist-local-fsm", 6, 15, 6, 0.8, 4, 43))
+		want, err := FSM(ctx, load(path), 8, FSMOptions{MaxEdges: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FSMDist(runCtx, ctx, path, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsmDistEqual(t, "local spec fsm", got, want)
+	})
+}
+
+func fsmDistEqual(t *testing.T, label string, got, want *FSMResult) {
+	t.Helper()
+	if len(want.Frequent) == 0 {
+		t.Fatalf("%s: degenerate baseline, nothing frequent", label)
+	}
+	if len(got.Frequent) != len(want.Frequent) {
+		t.Errorf("%s: %d frequent patterns, want %d", label, len(got.Frequent), len(want.Frequent))
+	}
+	for code, ds := range want.Frequent {
+		gds, ok := got.Frequent[code]
+		if !ok {
+			t.Errorf("%s: pattern %q missing", label, code)
+			continue
+		}
+		if gds.Support() != ds.Support() {
+			t.Errorf("%s: pattern %q support %d, want %d", label, code, gds.Support(), ds.Support())
+		}
+	}
+	for i, n := range want.PerLevel {
+		if i >= len(got.PerLevel) || got.PerLevel[i] != n {
+			t.Errorf("%s: PerLevel=%v, want %v", label, got.PerLevel, want.PerLevel)
+			break
+		}
+	}
+}
+
+// TestDistCliques runs the clique kernel across two worker instances over
+// TCP loopback and compares bit for bit with the in-process kernel.
+func TestDistCliques(t *testing.T) {
+	path := writeGraphFile(t, workload.ErdosRenyi("dist-cl", 60, 220, 1, 44))
+	oracle, load := inProcessOracle(t)
+	want, _, err := Cliques(oracle, load(path), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := distMaster(t)
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	if err := master.AwaitWorkers(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := CliquesDist(context.Background(), master, path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("distributed cliques=%d, want %d", got, want)
+	}
+	if res == nil || res.Report == nil || res.Report.Workers != 2 {
+		t.Errorf("report should record 2 registered workers, got %+v", res.Report)
+	}
+}
+
+// TestDistMotifs covers the multi-job driver (one spec per generated
+// pattern) on a labeled graph, exercising repeated spec distribution and
+// retirement on the same worker set.
+func TestDistMotifs(t *testing.T) {
+	path := writeGraphFile(t, workload.ErdosRenyi("dist-mo", 60, 220, 3, 45))
+	oracle, load := inProcessOracle(t)
+	want, _, err := Motifs(oracle, load(path), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := distMaster(t)
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	if err := master.AwaitWorkers(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := MotifsDist(context.Background(), master, path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifCountsEqual(t, "distributed motifs", 3, got, want)
+}
+
+// TestDistFSM covers environment threading across processes: each level's
+// support aggregations ship to the workers with the next level's spec.
+func TestDistFSM(t *testing.T) {
+	path := writeGraphFile(t, workload.Community("dist-fsm", 6, 15, 6, 0.8, 4, 46))
+	oracle, load := inProcessOracle(t)
+	want, err := FSM(oracle, load(path), 8, FSMOptions{MaxEdges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := distMaster(t)
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	if err := master.AwaitWorkers(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FSMDist(context.Background(), master, path, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsmDistEqual(t, "distributed fsm", got, want)
+}
+
+// TestDistElasticJoin starts a job with one registered worker while a second
+// registers concurrently: whether or not the latecomer makes the first step
+// attempt, the result must be identical, and it must be a full participant
+// of the next job.
+func TestDistElasticJoin(t *testing.T) {
+	path := writeGraphFile(t, workload.ErdosRenyi("dist-el", 60, 220, 1, 47))
+	oracle, load := inProcessOracle(t)
+	want, _, err := Cliques(oracle, load(path), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := distMaster(t)
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	if err := master.AwaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	type out struct {
+		n   int64
+		err error
+	}
+	first := make(chan out, 1)
+	go func() {
+		n, _, err := CliquesDist(context.Background(), master, path, 4)
+		first <- out{n, err}
+	}()
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	r := <-first
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.n != want {
+		t.Errorf("cliques during join=%d, want %d", r.n, want)
+	}
+	if err := master.AwaitWorkers(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := CliquesDist(context.Background(), master, path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("cliques after join=%d, want %d", got, want)
+	}
+	if res.Report.Workers != 2 {
+		t.Errorf("second job should see 2 workers, report says %d", res.Report.Workers)
+	}
+}
+
+// TestDistWorkerLoss severs one worker process's transport as it ships its
+// aggregation partials — the cross-process analog of the chaos suite's
+// KindAggData schedule. The master must detect the loss, discard the
+// attempt's partials wholesale, and retry on the survivor for an exact
+// count.
+func TestDistWorkerLoss(t *testing.T) {
+	path := writeGraphFile(t, workload.ErdosRenyi("dist-loss", 60, 220, 1, 48))
+	oracle, load := inProcessOracle(t)
+	want, _, err := Cliques(oracle, load(path), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := distMaster(t)
+	// Worker IDs are assigned in registration order; await each registration
+	// so the scripted victim deterministically holds ID 0.
+	script := rpc.NewScript(rpc.SeverRule(0, rpc.Master, sched.KindAggData, 0, 0))
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2, FaultInjector: script})
+	if err := master.AwaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 2})
+	if err := master.AwaitWorkers(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := CliquesDist(context.Background(), master, path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("cliques under worker loss=%d, want %d", got, want)
+	}
+	if script.Stats().Fired == 0 {
+		t.Fatal("fault schedule never fired: the loss path was not exercised")
+	}
+	if res.Report.WorkersLost == 0 || res.Report.Retries == 0 {
+		t.Errorf("report should account the loss and retry, got lost=%d retries=%d",
+			res.Report.WorkersLost, res.Report.Retries)
+	}
+}
+
+// TestDistRejectsUnknownApp pins the failure mode of a spec no worker can
+// materialize: a typed error naming the app, not a hang.
+func TestDistRejectsUnknownApp(t *testing.T) {
+	master := distMaster(t, fractal.WithWorkerTimeout(300*time.Millisecond))
+	startWorker(t, master.ListenAddr(), fractal.WorkerOptions{Cores: 1})
+	if err := master.AwaitWorkers(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := master.RunSpec(context.Background(), fractal.JobSpec{App: "no-such-app", Graph: "nowhere.el"}, nil)
+	if err == nil {
+		t.Fatal("RunSpec with an unregistered app should fail")
+	}
+	if !strings.Contains(err.Error(), `"no-such-app"`) {
+		t.Errorf("error should name the app: %v", err)
+	}
+}

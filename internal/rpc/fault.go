@@ -64,7 +64,16 @@ type faultTransport struct {
 func (f *faultTransport) Send(to NodeID, env Envelope) error {
 	fault := f.inj.Intercept(f.Self(), to, env.Kind)
 	if fault.Delay > 0 {
-		time.Sleep(fault.Delay)
+		// The delay aborts when the transport closes: an injected multi-second
+		// congestion stall must not hold Close (and with it run teardown)
+		// hostage for its full duration.
+		t := time.NewTimer(fault.Delay)
+		select {
+		case <-t.C:
+		case <-f.Transport.Done():
+			t.Stop()
+			return ErrClosed
+		}
 	}
 	if fault.Sever {
 		return fmt.Errorf("rpc: send to node %d: %w", to, ErrSevered)

@@ -178,3 +178,31 @@ func TestScriptSeverAPI(t *testing.T) {
 		t.Errorf("unrelated send faulted: %+v", f)
 	}
 }
+
+// TestInjectedDelayAbortsOnClose verifies the satellite-1 fix in the fault
+// layer: a send held by an injected delay returns promptly when the
+// underlying transport closes instead of sleeping out the full delay.
+func TestInjectedDelayAbortsOnClose(t *testing.T) {
+	nw := NewLoopbackNetwork([]NodeID{Master, 0})
+	script := NewScript(DelayRule(Master, 0, 0, 0, 1, 10*time.Second))
+	tr := WithFaultInjector(nw[Master], script)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- tr.Send(0, Envelope{Kind: 1})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the send enter its delay
+	start := time.Now()
+	nw[Master].Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err=%v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed send did not abort on transport close")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("send aborted %v after close", elapsed)
+	}
+	nw[0].Close()
+}

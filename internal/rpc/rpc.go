@@ -1,26 +1,32 @@
 // Package rpc provides the actor-style message transport that Fractal's
 // master and workers communicate over (Section 4, "Proof of concept over
 // Spark and Akka"). Two implementations are provided: an in-process loopback
-// (channel mailboxes) and a real TCP transport with gob framing on
-// 127.0.0.1, which reproduces the serialize/send/receive/deserialize cost of
-// inter-process communication that makes external work stealing more
-// expensive than internal work stealing (Section 4.2).
+// (channel mailboxes) and a real TCP transport with binary length-prefixed
+// framing (frame.go), which carries master/worker traffic both on loopback
+// (the single-process cost model) and across OS processes and machines (the
+// fractal-worker deployment).
 //
-// Address discovery substitutes the paper's master-coordinated handshake:
-// all listeners are bound first and the resulting address book is shared
-// with every node, after which nodes dial peers lazily on first send.
+// Address discovery is dynamic: a TCP node binds one configurable listener
+// (NewTCPNode) and learns peers incrementally through AddPeer — the
+// scheduling layer's registration handshake (a worker dials the master's
+// address, registers, and receives its node ID plus the current address
+// book) replaces the former bind-everything-up-front address book. The
+// pre-bound 127.0.0.1 network (NewTCPNetwork) remains as a convenience built
+// on the same primitives.
 //
 // The TCP transport is hardened for partial failure: dials retry with
-// exponential backoff plus jitter, every message write carries a deadline,
-// and a send that fails on a cached connection drops it and redials once
-// before reporting the peer unreachable. Callers therefore see a Send error
-// only when the peer is genuinely gone (or persistently wedged past the
-// write deadline), which the scheduling layer converts into worker-loss
-// handling instead of blocking forever.
+// exponential backoff plus jitter (aborting promptly when the transport
+// closes), every message write carries a deadline, and a send that fails on
+// a cached connection drops it and redials once before reporting the peer
+// unreachable. Callers therefore see a Send error only when the peer is
+// genuinely gone (or persistently wedged past the write deadline), and the
+// error distinguishes an unreachable peer (*DialError) from a write that
+// failed on a freshly established connection — which the scheduling layer
+// converts into worker-loss handling instead of blocking forever.
 package rpc
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,6 +41,12 @@ type NodeID int
 
 // Master is the NodeID of the application master.
 const Master NodeID = -1
+
+// Unregistered is the provisional NodeID of a worker that has not completed
+// the registration handshake: it can dial and send (the master learns its
+// real identity from the registration body, not the envelope), and adopts
+// its assigned ID via SetSelf when the welcome arrives.
+const Unregistered NodeID = -2
 
 // Envelope is one message: an already-encoded body tagged with a kind
 // understood by the scheduling layer.
@@ -53,10 +65,14 @@ type Transport interface {
 	Send(to NodeID, env Envelope) error
 	// Recv returns the mailbox channel. The channel is closed by Close.
 	Recv() <-chan Envelope
-	// Peers returns the IDs of all other nodes.
+	// Peers returns the IDs of all other known nodes.
 	Peers() []NodeID
 	// Stats returns this node's cumulative message/byte counters.
 	Stats() Stats
+	// Done returns a channel closed when the transport closes. Waits that
+	// would outlive the transport (dial backoff, injected fault delays)
+	// select on it so Close is never blocked behind a sleeping sender.
+	Done() <-chan struct{}
 	// Close releases resources and closes the mailbox.
 	Close() error
 }
@@ -123,6 +139,28 @@ var ErrClosed = errors.New("rpc: transport closed")
 // ErrUnknownPeer is returned by Send for an unknown destination.
 var ErrUnknownPeer = errors.New("rpc: unknown peer")
 
+// DialError reports that a peer could not be dialed at all: every connection
+// attempt (with backoff) failed. It is distinct from a write failure on an
+// established connection — a DialError in a WorkerLostError chain means the
+// peer's listener is gone (process dead, address wrong), not that a live
+// connection broke mid-message.
+type DialError struct {
+	// Node is the unreachable peer.
+	Node NodeID
+	// Addr is the address dialed.
+	Addr string
+	// Attempts is how many connection attempts were made.
+	Attempts int
+	// Err is the last attempt's error.
+	Err error
+}
+
+func (e *DialError) Error() string {
+	return fmt.Sprintf("rpc: dial node %d (%s) failed after %d attempts: %v", e.Node, e.Addr, e.Attempts, e.Err)
+}
+
+func (e *DialError) Unwrap() error { return e.Err }
+
 const mailboxDepth = 4096
 
 // TCPOptions tunes the failure behaviour of the TCP transport.
@@ -174,17 +212,35 @@ func (o TCPOptions) withDefaults() TCPOptions {
 }
 
 // dialWithBackoff dials addr, retrying with exponential backoff and jitter.
-func dialWithBackoff(addr string, o TCPOptions) (net.Conn, error) {
+// The backoff waits abort when done closes (the transport is shutting down),
+// so a cancelled run never blocks out a full retry schedule against a dead
+// peer before noticing.
+func dialWithBackoff(addr string, o TCPOptions, done <-chan struct{}) (net.Conn, error) {
 	backoff := o.DialBackoff
 	var lastErr error
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for attempt := 0; attempt < o.DialAttempts; attempt++ {
 		if attempt > 0 {
 			jitter := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
-			time.Sleep(backoff + jitter)
+			timer.Reset(backoff + jitter)
+			select {
+			case <-timer.C:
+			case <-done:
+				return nil, ErrClosed
+			}
 			backoff *= 2
 			if backoff > o.DialMaxBackoff {
 				backoff = o.DialMaxBackoff
 			}
+		}
+		select {
+		case <-done:
+			return nil, ErrClosed
+		default:
 		}
 		c, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 		if err == nil {
@@ -202,6 +258,7 @@ type loopNode struct {
 	id   NodeID
 	net  *loopNetwork
 	box  chan Envelope
+	done chan struct{}
 	ctrs counters
 
 	mu     sync.RWMutex // guards closed; held (R) while sending into box
@@ -218,7 +275,7 @@ func NewLoopbackNetwork(ids []NodeID) map[NodeID]Transport {
 	nw := &loopNetwork{nodes: map[NodeID]*loopNode{}}
 	out := map[NodeID]Transport{}
 	for _, id := range ids {
-		n := &loopNode{id: id, net: nw, box: make(chan Envelope, mailboxDepth)}
+		n := &loopNode{id: id, net: nw, box: make(chan Envelope, mailboxDepth), done: make(chan struct{})}
 		nw.nodes[id] = n
 		out[id] = n
 	}
@@ -255,6 +312,8 @@ func (n *loopNode) Recv() <-chan Envelope { return n.box }
 
 func (n *loopNode) Stats() Stats { return n.ctrs.stats() }
 
+func (n *loopNode) Done() <-chan struct{} { return n.done }
+
 func (n *loopNode) Peers() []NodeID {
 	out := make([]NodeID, 0, len(n.net.nodes)-1)
 	for id := range n.net.nodes {
@@ -270,6 +329,7 @@ func (n *loopNode) Close() error {
 	defer n.mu.Unlock()
 	if !n.closed {
 		n.closed = true
+		close(n.done)
 		close(n.box)
 	}
 	return nil
@@ -278,15 +338,21 @@ func (n *loopNode) Close() error {
 // ---------------------------------------------------------------------------
 // TCP transport
 
-type tcpNode struct {
-	id    NodeID
+// TCPNode is the TCP transport implementation: one listener plus lazily
+// dialed peer connections, with a dynamic address book. It implements
+// Transport; the extra methods (Addr, AddPeer, SetSelf) are the hooks the
+// scheduling layer's registration handshake is built from.
+type TCPNode struct {
+	self  atomic.Int64
 	ln    net.Listener
-	book  map[NodeID]string // peer -> address
 	opts  TCPOptions
 	box   chan Envelope
 	done  chan struct{}
 	ctrs  counters
 	close sync.Once
+
+	bookMu sync.RWMutex
+	book   map[NodeID]string // peer -> address
 
 	mu      sync.Mutex
 	conns   map[NodeID]*tcpConn
@@ -297,10 +363,10 @@ type tcpNode struct {
 type tcpConn struct {
 	mu  sync.Mutex
 	c   net.Conn
-	enc *gob.Encoder
+	buf []byte
 }
 
-// send encodes env onto the connection under a write deadline.
+// send writes env as one frame onto the connection under a write deadline.
 func (tc *tcpConn) send(env Envelope, timeout time.Duration) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
@@ -308,8 +374,61 @@ func (tc *tcpConn) send(env Envelope, timeout time.Duration) error {
 		tc.c.SetWriteDeadline(time.Now().Add(timeout))
 		defer tc.c.SetWriteDeadline(time.Time{})
 	}
-	return tc.enc.Encode(env)
+	tc.buf = appendFrame(tc.buf[:0], env)
+	_, err := tc.c.Write(tc.buf)
+	return err
 }
+
+// NewTCPNode binds one listener at listenAddr (e.g. "127.0.0.1:0",
+// ":7001") and returns a transport for node self with an empty address
+// book. Peers are added with AddPeer and dialed lazily on first send.
+func NewTCPNode(self NodeID, listenAddr string, opts TCPOptions) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", listenAddr, err)
+	}
+	n := &TCPNode{
+		ln:      ln,
+		opts:    opts.withDefaults(),
+		box:     make(chan Envelope, mailboxDepth),
+		done:    make(chan struct{}),
+		book:    map[NodeID]string{},
+		conns:   map[NodeID]*tcpConn{},
+		inbound: map[net.Conn]struct{}{},
+	}
+	n.self.Store(int64(self))
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the listener's bound address, suitable for other nodes'
+// AddPeer.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// AddPeer installs (or updates) the address of a peer. An existing cached
+// connection to the peer is dropped when the address changed, so subsequent
+// sends dial the new address. Safe for concurrent use.
+func (n *TCPNode) AddPeer(id NodeID, addr string) {
+	n.bookMu.Lock()
+	old, had := n.book[id]
+	n.book[id] = addr
+	n.bookMu.Unlock()
+	if had && old != addr {
+		n.mu.Lock()
+		tc := n.conns[id]
+		delete(n.conns, id)
+		n.mu.Unlock()
+		if tc != nil {
+			tc.c.Close()
+		}
+	}
+}
+
+// SetSelf adopts a node ID: subsequent sends stamp it as Envelope.From. A
+// worker transport starts Unregistered and adopts the ID assigned by the
+// master's welcome.
+func (n *TCPNode) SetSelf(id NodeID) { n.self.Store(int64(id)) }
 
 // NewTCPNetwork binds one 127.0.0.1 listener per node ID, shares the address
 // book, and returns the transports with the default failure tuning.
@@ -320,41 +439,32 @@ func NewTCPNetwork(ids []NodeID) (map[NodeID]Transport, error) {
 
 // NewTCPNetworkWith is NewTCPNetwork with explicit failure tuning.
 func NewTCPNetworkWith(ids []NodeID, opts TCPOptions) (map[NodeID]Transport, error) {
-	opts = opts.withDefaults()
-	nodes := map[NodeID]*tcpNode{}
-	book := map[NodeID]string{}
+	nodes := map[NodeID]*TCPNode{}
 	for _, id := range ids {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		n, err := NewTCPNode(id, "127.0.0.1:0", opts)
 		if err != nil {
-			for _, n := range nodes {
-				n.ln.Close()
+			for _, m := range nodes {
+				m.Close()
 			}
 			return nil, fmt.Errorf("rpc: listen for node %d: %w", id, err)
 		}
-		nodes[id] = &tcpNode{
-			id:      id,
-			ln:      ln,
-			opts:    opts,
-			box:     make(chan Envelope, mailboxDepth),
-			done:    make(chan struct{}),
-			conns:   map[NodeID]*tcpConn{},
-			inbound: map[net.Conn]struct{}{},
-		}
-		book[id] = ln.Addr().String()
+		nodes[id] = n
 	}
 	out := map[NodeID]Transport{}
 	for id, n := range nodes {
-		n.book = book
-		n.wg.Add(1)
-		go n.acceptLoop()
+		for pid, p := range nodes {
+			if pid != id {
+				n.AddPeer(pid, p.Addr())
+			}
+		}
 		out[id] = n
 	}
 	return out, nil
 }
 
-func (n *tcpNode) Self() NodeID { return n.id }
+func (n *TCPNode) Self() NodeID { return NodeID(n.self.Load()) }
 
-func (n *tcpNode) acceptLoop() {
+func (n *TCPNode) acceptLoop() {
 	defer n.wg.Done()
 	for {
 		c, err := n.ln.Accept()
@@ -376,7 +486,7 @@ func (n *tcpNode) acceptLoop() {
 	}
 }
 
-func (n *tcpNode) readLoop(c net.Conn) {
+func (n *TCPNode) readLoop(c net.Conn) {
 	defer n.wg.Done()
 	defer func() {
 		c.Close()
@@ -384,10 +494,10 @@ func (n *tcpNode) readLoop(c net.Conn) {
 		delete(n.inbound, c)
 		n.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(c)
+	r := bufio.NewReader(c)
 	for {
-		var env Envelope
-		if err := dec.Decode(&env); err != nil {
+		env, err := readFrame(r)
+		if err != nil {
 			return
 		}
 		select {
@@ -401,40 +511,44 @@ func (n *tcpNode) readLoop(c net.Conn) {
 
 // conn returns the cached connection to a peer, dialing (with retry and
 // backoff) when none exists. The dial happens outside the node lock so a
-// dead peer's backoff never stalls sends to healthy peers.
-func (n *tcpNode) conn(to NodeID, addr string) (*tcpConn, error) {
+// dead peer's backoff never stalls sends to healthy peers. fresh reports
+// whether the returned connection was newly established by this call.
+func (n *TCPNode) conn(to NodeID, addr string) (tc *tcpConn, fresh bool, err error) {
 	n.mu.Lock()
 	tc, ok := n.conns[to]
 	n.mu.Unlock()
 	if ok {
-		return tc, nil
+		return tc, false, nil
 	}
-	c, err := dialWithBackoff(addr, n.opts)
+	c, err := dialWithBackoff(addr, n.opts, n.done)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: dial node %d: %w", to, err)
+		if errors.Is(err, ErrClosed) {
+			return nil, false, ErrClosed
+		}
+		return nil, false, &DialError{Node: to, Addr: addr, Attempts: n.opts.DialAttempts, Err: errors.Unwrap(err)}
 	}
 	n.mu.Lock()
 	select {
 	case <-n.done:
 		n.mu.Unlock()
 		c.Close()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	default:
 	}
 	if existing, ok := n.conns[to]; ok {
 		// A concurrent send won the dial race; use its connection.
 		n.mu.Unlock()
 		c.Close()
-		return existing, nil
+		return existing, false, nil
 	}
-	tc = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+	tc = &tcpConn{c: c}
 	n.conns[to] = tc
 	n.mu.Unlock()
-	return tc, nil
+	return tc, true, nil
 }
 
 // dropConn discards a broken connection so the next send redials.
-func (n *tcpNode) dropConn(to NodeID, tc *tcpConn) {
+func (n *TCPNode) dropConn(to NodeID, tc *tcpConn) {
 	n.mu.Lock()
 	if n.conns[to] == tc {
 		delete(n.conns, to)
@@ -443,55 +557,79 @@ func (n *tcpNode) dropConn(to NodeID, tc *tcpConn) {
 	tc.c.Close()
 }
 
-func (n *tcpNode) Send(to NodeID, env Envelope) error {
+func (n *TCPNode) Send(to NodeID, env Envelope) error {
 	select {
 	case <-n.done:
 		return ErrClosed
 	default:
 	}
+	n.bookMu.RLock()
 	addr, ok := n.book[to]
+	n.bookMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, to)
 	}
-	env.From = n.id
+	env.From = n.Self()
 	// A write failure on a cached connection usually means the peer reset it
-	// (or it idled out); drop it and retry once on a fresh dial. gob reports
-	// an error whenever any underlying write failed, so a retried message is
-	// duplicated only if the first encode flushed completely yet still
-	// errored — which cannot happen — while a partially written frame is
-	// discarded by the receiver's decoder when the old connection dies.
+	// (or it idled out); drop it and retry once on a fresh dial. The frame
+	// writer reports an error whenever any underlying write failed, so a
+	// retried message is duplicated only if the first write flushed
+	// completely yet still errored — which cannot happen — while a partially
+	// written frame is discarded by the receiver's length-prefixed decoder
+	// when the old connection dies.
+	//
+	// The two failure shapes stay distinct in the returned error: a peer
+	// that cannot be dialed at all surfaces as *DialError (its listener is
+	// gone), while writes that keep failing — including on a connection this
+	// very send freshly established — surface as a write failure naming
+	// that, so worker-loss diagnostics report the real cause.
 	var lastErr error
+	lastFresh := false
 	for attempt := 0; attempt < 2; attempt++ {
-		tc, err := n.conn(to, addr)
+		tc, fresh, err := n.conn(to, addr)
 		if err != nil {
+			if lastErr != nil && !errors.Is(err, ErrClosed) {
+				// A cached-connection write failed and then the redial
+				// failed too: the dial failure is the operative cause.
+				return fmt.Errorf("rpc: send to node %d: write failed (%v), then redial failed: %w", to, lastErr, err)
+			}
 			return err
 		}
 		if err := tc.send(env, n.opts.SendTimeout); err != nil {
 			n.dropConn(to, tc)
 			lastErr = err
+			lastFresh = fresh
 			continue
 		}
 		n.ctrs.countSend(env)
 		return nil
 	}
+	if lastFresh {
+		return fmt.Errorf("rpc: send to node %d: write failed on freshly dialed connection: %w", to, lastErr)
+	}
 	return fmt.Errorf("rpc: send to node %d: %w", to, lastErr)
 }
 
-func (n *tcpNode) Recv() <-chan Envelope { return n.box }
+func (n *TCPNode) Recv() <-chan Envelope { return n.box }
 
-func (n *tcpNode) Stats() Stats { return n.ctrs.stats() }
+func (n *TCPNode) Stats() Stats { return n.ctrs.stats() }
 
-func (n *tcpNode) Peers() []NodeID {
-	out := make([]NodeID, 0, len(n.book)-1)
+func (n *TCPNode) Done() <-chan struct{} { return n.done }
+
+func (n *TCPNode) Peers() []NodeID {
+	n.bookMu.RLock()
+	defer n.bookMu.RUnlock()
+	self := n.Self()
+	out := make([]NodeID, 0, len(n.book))
 	for id := range n.book {
-		if id != n.id {
+		if id != self {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-func (n *tcpNode) Close() error {
+func (n *TCPNode) Close() error {
 	n.close.Do(func() {
 		close(n.done)
 		n.ln.Close()

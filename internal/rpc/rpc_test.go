@@ -1,7 +1,6 @@
 package rpc
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -237,7 +236,7 @@ func TestDialRetrySucceedsOnceListenerAppears(t *testing.T) {
 
 	opts := TCPOptions{DialAttempts: 10, DialBackoff: 10 * time.Millisecond, DialMaxBackoff: 50 * time.Millisecond}.withDefaults()
 	start := time.Now()
-	c, err := dialWithBackoff(addr, opts)
+	c, err := dialWithBackoff(addr, opts, nil)
 	if err != nil {
 		t.Fatalf("dial never succeeded: %v", err)
 	}
@@ -260,7 +259,7 @@ func TestDialRetryGivesUp(t *testing.T) {
 
 	opts := TCPOptions{DialAttempts: 3, DialBackoff: 20 * time.Millisecond}.withDefaults()
 	start := time.Now()
-	_, err = dialWithBackoff(addr, opts)
+	_, err = dialWithBackoff(addr, opts, nil)
 	if err == nil {
 		t.Fatal("dial to dead address succeeded")
 	}
@@ -276,7 +275,7 @@ func TestSendWriteDeadline(t *testing.T) {
 	c1, c2 := net.Pipe() // synchronous: writes block until the peer reads
 	defer c2.Close()
 	defer c1.Close()
-	tc := &tcpConn{c: c1, enc: gob.NewEncoder(c1)}
+	tc := &tcpConn{c: c1}
 	errCh := make(chan error, 1)
 	go func() {
 		errCh <- tc.send(Envelope{Kind: 1, Body: make([]byte, 1<<16)}, 30*time.Millisecond)
@@ -306,7 +305,7 @@ func TestSendRecoversAcrossBrokenConnection(t *testing.T) {
 		t.Fatal("first message corrupted")
 	}
 	// Sever the cached connection out from under the sender.
-	n0 := nw[0].(*tcpNode)
+	n0 := nw[0].(*TCPNode)
 	n0.mu.Lock()
 	for _, tc := range n0.conns {
 		tc.c.Close()
@@ -319,5 +318,139 @@ func TestSendRecoversAcrossBrokenConnection(t *testing.T) {
 	}
 	if string(recvOne(t, nw[1]).Body) != "second" {
 		t.Fatal("second message corrupted")
+	}
+}
+
+// TestDialBackoffAbortsOnDone verifies the satellite-1 fix: a dial in its
+// backoff wait must return promptly (with ErrClosed) when the done channel
+// closes, instead of sleeping out the remaining schedule.
+func TestDialBackoffAbortsOnDone(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // connections refused from here on
+
+	opts := TCPOptions{DialAttempts: 50, DialBackoff: 200 * time.Millisecond, DialMaxBackoff: 5 * time.Second}.withDefaults()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(done)
+	}()
+	start := time.Now()
+	_, err = dialWithBackoff(addr, opts, done)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err=%v, want ErrClosed", err)
+	}
+	// The full schedule would be seconds; abort must land near the close.
+	if elapsed > 2*time.Second {
+		t.Fatalf("dial aborted after %v, backoff was not interrupted", elapsed)
+	}
+}
+
+// TestSendToDeadPeerReturnsDialError verifies the satellite-3 fix: a peer
+// whose listener is gone surfaces as a typed *DialError, distinguishable
+// from a write failure on an established connection.
+func TestSendToDeadPeerReturnsDialError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	n, err := NewTCPNode(0, "127.0.0.1:0", TCPOptions{DialAttempts: 2, DialBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	n.AddPeer(1, deadAddr)
+	err = n.Send(1, Envelope{Kind: 1})
+	var de *DialError
+	if !errors.As(err, &de) {
+		t.Fatalf("err=%v (%T), want *DialError", err, err)
+	}
+	if de.Node != 1 || de.Addr != deadAddr || de.Attempts != 2 {
+		t.Errorf("DialError fields: %+v", de)
+	}
+}
+
+// TestDynamicNodeRegistrationFlow exercises the primitives the registration
+// handshake is built from: an Unregistered node dials a known master
+// address, the master learns the sender's address from the body, adds the
+// peer, replies, and the worker adopts its assigned ID.
+func TestDynamicNodeRegistrationFlow(t *testing.T) {
+	master, err := NewTCPNode(Master, "127.0.0.1:0", TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	wk, err := NewTCPNode(Unregistered, "127.0.0.1:0", TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wk.Close()
+
+	wk.AddPeer(Master, master.Addr())
+	if err := wk.Send(Master, Envelope{Kind: 1, Body: []byte(wk.Addr())}); err != nil {
+		t.Fatal(err)
+	}
+	reg := recvOne(t, master)
+	if reg.From != Unregistered {
+		t.Fatalf("registration From=%d, want Unregistered", reg.From)
+	}
+	master.AddPeer(3, string(reg.Body))
+	if err := master.Send(3, Envelope{Kind: 2, Body: []byte{3}}); err != nil {
+		t.Fatal(err)
+	}
+	welcome := recvOne(t, wk)
+	if welcome.From != Master || welcome.Body[0] != 3 {
+		t.Fatalf("welcome %+v", welcome)
+	}
+	wk.SetSelf(NodeID(welcome.Body[0]))
+	if wk.Self() != 3 {
+		t.Fatalf("Self=%d after SetSelf", wk.Self())
+	}
+	if err := wk.Send(Master, Envelope{Kind: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, master); env.From != 3 {
+		t.Fatalf("post-welcome From=%d, want 3", env.From)
+	}
+}
+
+// TestAddPeerRebindDropsStaleConn re-points a peer at a new address and
+// verifies the next send reaches the new listener, not the cached old
+// connection.
+func TestAddPeerRebindDropsStaleConn(t *testing.T) {
+	a, err := NewTCPNode(0, "127.0.0.1:0", TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := NewTCPNode(1, "127.0.0.1:0", TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer(1, b1.Addr())
+	if err := a.Send(1, Envelope{Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b1)
+	b1.Close()
+
+	b2, err := NewTCPNode(1, "127.0.0.1:0", TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	a.AddPeer(1, b2.Addr())
+	if err := a.Send(1, Envelope{Kind: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if env := recvOne(t, b2); env.Kind != 2 {
+		t.Fatalf("new listener got %+v", env)
 	}
 }

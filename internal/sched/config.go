@@ -68,6 +68,17 @@ type Config struct {
 	// UseTCP runs master/worker communication over real TCP sockets on
 	// 127.0.0.1 instead of in-process mailboxes.
 	UseTCP bool
+	// ListenAddr switches the runtime into master mode: instead of spawning
+	// in-process workers, the master binds a TCP listener at this address
+	// (e.g. ":7001", "127.0.0.1:0") and serves registrations from
+	// fractal-worker processes (ServeWorker). Jobs must then be submitted as
+	// serializable specs (RunSpec); Workers and UseTCP are ignored, and the
+	// worker set is dynamic — workers may register at any time, including
+	// mid-job, and join at the next step attempt. CoresPerWorker, WS,
+	// IdleSleep, and WorkerTimeout are dictated to every registering worker
+	// in the registration reply, so all participants execute under one
+	// configuration.
+	ListenAddr string
 	// IdleSleep is how long an idle core sleeps between failed steal
 	// attempts. The default of 100µs keeps idle cores from starving busy
 	// ones on machines with few hardware threads.
@@ -110,6 +121,45 @@ type Config struct {
 	// metrics.DefaultTraceCapacity); the oldest events are overwritten
 	// when it fills. Only meaningful with Trace set.
 	TraceCapacity int
+}
+
+// ConfigError reports a configuration field rejected by validation. Both the
+// functional options of the public API and Validate return it, so callers can
+// distinguish a bad deployment description from runtime failures with
+// errors.As.
+type ConfigError struct {
+	// Field names the offending Config field.
+	Field string
+	// Reason says what was wrong with it, including the rejected value.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sched: invalid config: %s %s", e.Field, e.Reason)
+}
+
+// Validate rejects nonsensical deployment descriptions. Zero values are legal
+// everywhere — they mean "use the default" (withDefaults) — so only values
+// that could previously slip through and silently coerce (negatives, and
+// zero-after-explicit-set mistakes surface at the option layer) are errors
+// here.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return &ConfigError{Field: "Workers", Reason: fmt.Sprintf("must be at least 1, got %d", c.Workers)}
+	}
+	if c.CoresPerWorker < 0 {
+		return &ConfigError{Field: "CoresPerWorker", Reason: fmt.Sprintf("must be at least 1, got %d", c.CoresPerWorker)}
+	}
+	if c.StepRetries < 0 {
+		return &ConfigError{Field: "StepRetries", Reason: fmt.Sprintf("must not be negative, got %d", c.StepRetries)}
+	}
+	if c.WS > WSBoth {
+		return &ConfigError{Field: "WS", Reason: fmt.Sprintf("unknown work-stealing mode %d", c.WS)}
+	}
+	if c.ListenAddr != "" && c.UseTCP {
+		return &ConfigError{Field: "ListenAddr", Reason: "is exclusive with UseTCP: master mode always listens on TCP"}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {

@@ -87,6 +87,7 @@ func (c *core) run(st *stepCtx) {
 			extBackoff := 1
 			attempt := 0
 			misses := int64(0)
+			var idleTimer *time.Timer
 			for !st.halted() {
 				scanStart := time.Now()
 				st.activeInc()
@@ -127,8 +128,20 @@ func (c *core) run(st *stepCtx) {
 					c.traceSteal(st, external, false, misses)
 				}
 				st.activeDec()
+				// The idle nap aborts the moment the step halts (step end,
+				// cancellation, shutdown): a long IdleSleep must not delay
+				// teardown by up to a full period per core.
 				sleepStart := time.Now()
-				time.Sleep(c.w.cfg.IdleSleep)
+				if idleTimer == nil {
+					idleTimer = time.NewTimer(c.w.cfg.IdleSleep)
+				} else {
+					idleTimer.Reset(c.w.cfg.IdleSleep)
+				}
+				select {
+				case <-idleTimer.C:
+				case <-st.doneCh:
+					idleTimer.Stop()
+				}
 				idle += time.Since(sleepStart)
 				attempt++
 			}

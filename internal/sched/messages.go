@@ -1,9 +1,9 @@
 package sched
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"fractal/internal/subgraph"
 )
@@ -21,6 +21,12 @@ const (
 	kShutdown
 	kCancel
 	kCancelAck
+	kRegister
+	kWelcome
+	kPeerJoin
+	kJobSpec
+	kJobSpecAck
+	kJobEnd
 )
 
 // Exported kind aliases, so fault-injection schedules (rpc.FaultRule.Kind)
@@ -38,6 +44,11 @@ const (
 	KindStealResp    = kStealResp
 	KindCancel       = kCancel
 	KindCancelAck    = kCancelAck
+	KindRegister     = kRegister
+	KindWelcome      = kWelcome
+	KindJobSpec      = kJobSpec
+	KindJobSpecAck   = kJobSpecAck
+	KindJobEnd       = kJobEnd
 )
 
 // Every step-scoped message carries the master's Attempt counter alongside
@@ -50,10 +61,18 @@ const (
 // stepStartMsg tells a worker to start executing a step. Workers lists the
 // participating worker IDs for this attempt — a retry may exclude lost
 // workers, and the remaining ones re-partition the root domain among
-// len(Workers)×CoresPerWorker cores and steal only from each other.
+// len(Workers)×CoresPerWorker cores and steal only from each other. Env
+// carries the environment aggregations committed by earlier steps of the
+// same job (encoded with the aggregation wire codec): remote workers fold
+// them into their job environment before building the attempt, so
+// multi-step jobs whose later steps read earlier steps' results — and
+// workers that joined after those steps committed — see the same
+// environment the master does. In-process deployments share the registry
+// by reference and leave Env empty.
 type stepStartMsg struct {
 	Job, Step, Attempt int
 	Workers            []int
+	Env                []envEntry
 }
 
 // stepEndMsg tells a worker the step is globally quiescent: stop cores and
@@ -138,16 +157,540 @@ type stealRespMsg struct {
 	Prefix             []subgraph.Word
 }
 
-// encode gob-encodes a message body.
-func encode(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		panic(fmt.Sprintf("sched: encoding %T: %v", v, err)) // all bodies are known types
-	}
-	return buf.Bytes()
+// registerMsg is a worker process introducing itself to the master: the
+// address its own listener is bound to (for the master's address book and
+// for peer-to-peer stealing) and how many cores it offers. It is the only
+// message sent with an Unregistered envelope From.
+type registerMsg struct {
+	Addr  string
+	Cores int
 }
 
-// decode gob-decodes a message body.
+// welcomeMsg is the master's registration reply: the worker's assigned ID
+// plus the execution configuration every participant must agree on and the
+// current address book. Receipt completes the handshake — the worker adopts
+// the ID and becomes eligible for the next step's participant list.
+type welcomeMsg struct {
+	Worker         int
+	CoresPerWorker int
+	WS             uint8
+	IdleSleep      int64 // ns
+	WorkerTimeout  int64 // ns
+	Peers          []peerAddr
+}
+
+// peerAddr is one address-book entry.
+type peerAddr struct {
+	Worker int
+	Addr   string
+}
+
+// peerJoinMsg tells already-registered workers about a newly joined peer so
+// they can extend their own address books (external steals are
+// worker-to-worker).
+type peerJoinMsg struct {
+	Worker int
+	Addr   string
+}
+
+// jobSpecMsg names a job over the wire: the registered app, the graph it
+// loads, its arguments, and any environment aggregations (encoded with the
+// aggregation wire codec) the step closures read. Every participant
+// reconstructs the identical workflow from this spec via the app's
+// registered SpecBuilder.
+type jobSpecMsg struct {
+	Job   int
+	App   string
+	Graph string
+	Args  []kvPair
+	Env   []envEntry
+}
+
+// kvPair is one spec argument; Args are sorted by key so the encoding is
+// canonical.
+type kvPair struct {
+	K, V string
+}
+
+// envEntry is one encoded environment aggregation.
+type envEntry struct {
+	Name string
+	Data []byte
+}
+
+// jobSpecAckMsg confirms a worker has materialized a job spec (loaded the
+// graph, built the workflow) or failed to. Only spec-ready workers are
+// admitted to a job's participant lists.
+type jobSpecAckMsg struct {
+	Job    int
+	Worker int
+	Err    string
+}
+
+// jobEndMsg tells workers a job is complete and its cached state can be
+// dropped.
+type jobEndMsg struct {
+	Job int
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+//
+// Control messages are encoded with the same hand-rolled varint style as the
+// aggregation wire codec (internal/agg/binary.go) rather than gob: fixed
+// field order, varint integers, length-prefixed strings and byte slices. Gob
+// resends type descriptors per stream and reflects over every value; across
+// real processes that cost would land on every status ping. The shapes here
+// are closed (this package owns both ends), so the fallback flexibility gob
+// buys is not needed — it survives only inside aggregation payloads with
+// custom user shapes.
+
+// wbuf accumulates an encoding.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) vint(v int)     { w.b = binary.AppendVarint(w.b, int64(v)) }
+func (w *wbuf) vint64(v int64) { w.b = binary.AppendVarint(w.b, v) }
+func (w *wbuf) u8(v uint8)     { w.b = append(w.b, v) }
+func (w *wbuf) boolean(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+func (w *wbuf) str(s string) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *wbuf) bytes(p []byte) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+func (w *wbuf) ints(vs []int) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(vs)))
+	for _, v := range vs {
+		w.vint(v)
+	}
+}
+func (w *wbuf) words(vs []subgraph.Word) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(vs)))
+	for _, v := range vs {
+		w.vint64(int64(v))
+	}
+}
+func (w *wbuf) strs(vs []string) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(vs)))
+	for _, v := range vs {
+		w.str(v)
+	}
+}
+
+// rbuf consumes an encoding; the first malformed field poisons every
+// subsequent read, so decoders check err once at the end.
+type rbuf struct {
+	b   []byte
+	err error
+}
+
+// maxWireSlice bounds decoded slice lengths: no control message legitimately
+// carries more elements than this, and a corrupt count must not drive an
+// allocation.
+const maxWireSlice = 1 << 24
+
+func (r *rbuf) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("sched: truncated or corrupt message body")
+	}
+}
+
+func (r *rbuf) vint64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *rbuf) vint() int { return int(r.vint64()) }
+
+func (r *rbuf) length() int {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 || v > maxWireSlice {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return int(v)
+}
+
+func (r *rbuf) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *rbuf) boolean() bool { return r.u8() != 0 }
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	p := r.b[:n]
+	r.b = r.b[n:]
+	return p
+}
+
+func (r *rbuf) str() string { return string(r.take(r.length())) }
+
+func (r *rbuf) bytes() []byte {
+	n := r.length()
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	// Copy: message bodies may alias a reused read buffer upstream.
+	return append([]byte(nil), p...)
+}
+
+func (r *rbuf) ints() []int {
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.vint()
+	}
+	return out
+}
+
+func (r *rbuf) words() []subgraph.Word {
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]subgraph.Word, n)
+	for i := range out {
+		v := r.vint64()
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			r.fail()
+			return nil
+		}
+		out[i] = subgraph.Word(v)
+	}
+	return out
+}
+
+func (r *rbuf) strs() []string {
+	n := r.length()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+func (r *rbuf) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("sched: %d trailing bytes in message body", len(r.b))
+	}
+	return nil
+}
+
+// encode binary-encodes a message body. Bodies are fixed field sequences;
+// the envelope kind, not the body, identifies the shape.
+func encode(v any) []byte {
+	// Normalize values to pointers so call sites can pass either.
+	switch m := v.(type) {
+	case stepStartMsg:
+		v = &m
+	case stepEndMsg:
+		v = &m
+	case cancelMsg:
+		v = &m
+	case cancelAckMsg:
+		v = &m
+	case aggDataMsg:
+		v = &m
+	case aggDoneMsg:
+		v = &m
+	case statusPingMsg:
+		v = &m
+	case statusReportMsg:
+		v = &m
+	case stealReqMsg:
+		v = &m
+	case stealRespMsg:
+		v = &m
+	case registerMsg:
+		v = &m
+	case welcomeMsg:
+		v = &m
+	case peerJoinMsg:
+		v = &m
+	case jobSpecMsg:
+		v = &m
+	case jobSpecAckMsg:
+		v = &m
+	case jobEndMsg:
+		v = &m
+	}
+	var w wbuf
+	switch m := v.(type) {
+	case *stepStartMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.ints(m.Workers)
+		w.b = binary.AppendUvarint(w.b, uint64(len(m.Env)))
+		for _, e := range m.Env {
+			w.str(e.Name)
+			w.bytes(e.Data)
+		}
+	case *stepEndMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+	case *cancelMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+	case *cancelAckMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.vint(m.Worker)
+	case *aggDataMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.vint(m.Worker)
+		w.str(m.Name)
+		w.bytes(m.Data)
+	case *aggDoneMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.vint(m.Worker)
+		w.vint(m.Sent)
+		w.strs(m.Errs)
+	case *statusPingMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.vint64(m.Round)
+	case *statusReportMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.vint64(m.Round)
+		w.vint(m.Worker)
+		w.boolean(m.Running)
+		w.vint64(m.Active)
+		w.vint64(m.Processed)
+		w.vint64(m.ReqSent)
+		w.vint64(m.RespRecv)
+		w.vint64(m.ReqRecv)
+		w.vint64(m.RespSent)
+	case *stealReqMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.vint(m.Worker)
+		w.vint(m.Core)
+	case *stealRespMsg:
+		w.vint(m.Job)
+		w.vint(m.Step)
+		w.vint(m.Attempt)
+		w.vint(m.Core)
+		w.words(m.Prefix)
+	case *registerMsg:
+		w.str(m.Addr)
+		w.vint(m.Cores)
+	case *welcomeMsg:
+		w.vint(m.Worker)
+		w.vint(m.CoresPerWorker)
+		w.u8(m.WS)
+		w.vint64(m.IdleSleep)
+		w.vint64(m.WorkerTimeout)
+		w.b = binary.AppendUvarint(w.b, uint64(len(m.Peers)))
+		for _, p := range m.Peers {
+			w.vint(p.Worker)
+			w.str(p.Addr)
+		}
+	case *peerJoinMsg:
+		w.vint(m.Worker)
+		w.str(m.Addr)
+	case *jobSpecMsg:
+		w.vint(m.Job)
+		w.str(m.App)
+		w.str(m.Graph)
+		w.b = binary.AppendUvarint(w.b, uint64(len(m.Args)))
+		for _, kv := range m.Args {
+			w.str(kv.K)
+			w.str(kv.V)
+		}
+		w.b = binary.AppendUvarint(w.b, uint64(len(m.Env)))
+		for _, e := range m.Env {
+			w.str(e.Name)
+			w.bytes(e.Data)
+		}
+	case *jobSpecAckMsg:
+		w.vint(m.Job)
+		w.vint(m.Worker)
+		w.str(m.Err)
+	case *jobEndMsg:
+		w.vint(m.Job)
+	default:
+		panic(fmt.Sprintf("sched: encoding unknown message type %T", v))
+	}
+	return w.b
+}
+
+// decode binary-decodes a message body into v, which must be a pointer to
+// the struct matching the envelope kind.
 func decode(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+	r := rbuf{b: data}
+	switch m := v.(type) {
+	case *stepStartMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Workers = r.ints()
+		if n := r.length(); n > 0 && r.err == nil {
+			m.Env = make([]envEntry, n)
+			for i := range m.Env {
+				m.Env[i].Name = r.str()
+				m.Env[i].Data = r.bytes()
+			}
+		}
+	case *stepEndMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+	case *cancelMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+	case *cancelAckMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Worker = r.vint()
+	case *aggDataMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Worker = r.vint()
+		m.Name = r.str()
+		m.Data = r.bytes()
+	case *aggDoneMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Worker = r.vint()
+		m.Sent = r.vint()
+		m.Errs = r.strs()
+	case *statusPingMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Round = r.vint64()
+	case *statusReportMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Round = r.vint64()
+		m.Worker = r.vint()
+		m.Running = r.boolean()
+		m.Active = r.vint64()
+		m.Processed = r.vint64()
+		m.ReqSent = r.vint64()
+		m.RespRecv = r.vint64()
+		m.ReqRecv = r.vint64()
+		m.RespSent = r.vint64()
+	case *stealReqMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Worker = r.vint()
+		m.Core = r.vint()
+	case *stealRespMsg:
+		m.Job = r.vint()
+		m.Step = r.vint()
+		m.Attempt = r.vint()
+		m.Core = r.vint()
+		m.Prefix = r.words()
+	case *registerMsg:
+		m.Addr = r.str()
+		m.Cores = r.vint()
+	case *welcomeMsg:
+		m.Worker = r.vint()
+		m.CoresPerWorker = r.vint()
+		m.WS = r.u8()
+		m.IdleSleep = r.vint64()
+		m.WorkerTimeout = r.vint64()
+		if n := r.length(); n > 0 && r.err == nil {
+			m.Peers = make([]peerAddr, n)
+			for i := range m.Peers {
+				m.Peers[i].Worker = r.vint()
+				m.Peers[i].Addr = r.str()
+			}
+		}
+	case *peerJoinMsg:
+		m.Worker = r.vint()
+		m.Addr = r.str()
+	case *jobSpecMsg:
+		m.Job = r.vint()
+		m.App = r.str()
+		m.Graph = r.str()
+		if n := r.length(); n > 0 && r.err == nil {
+			m.Args = make([]kvPair, n)
+			for i := range m.Args {
+				m.Args[i].K = r.str()
+				m.Args[i].V = r.str()
+			}
+		}
+		if n := r.length(); n > 0 && r.err == nil {
+			m.Env = make([]envEntry, n)
+			for i := range m.Env {
+				m.Env[i].Name = r.str()
+				m.Env[i].Data = r.bytes()
+			}
+		}
+	case *jobSpecAckMsg:
+		m.Job = r.vint()
+		m.Worker = r.vint()
+		m.Err = r.str()
+	case *jobEndMsg:
+		m.Job = r.vint()
+	default:
+		return fmt.Errorf("sched: decoding unknown message type %T", v)
+	}
+	return r.done()
 }

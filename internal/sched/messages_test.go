@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"fractal/internal/subgraph"
+)
+
+// TestMessageCodecRoundTrip encodes every control-message shape and decodes
+// it back, checking field-for-field equality. The wire format is fixed field
+// order with no self-description, so this is the guard that both sides agree.
+func TestMessageCodecRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   any
+		out  any
+	}{
+		{"stepStart", &stepStartMsg{Job: 3, Step: 2, Attempt: 5, Workers: []int{0, 2, 7}}, &stepStartMsg{}},
+		{"stepStartEnv", &stepStartMsg{Job: 3, Step: 1, Attempt: 0, Workers: []int{0, 1},
+			Env: []envEntry{{Name: "support1", Data: []byte{4, 5}}, {Name: "support2", Data: nil}}}, &stepStartMsg{}},
+		{"stepStartNoWorkers", &stepStartMsg{Job: 1}, &stepStartMsg{}},
+		{"stepEnd", &stepEndMsg{Job: 1, Step: 2, Attempt: 3}, &stepEndMsg{}},
+		{"cancel", &cancelMsg{Job: 9, Step: 0, Attempt: 1}, &cancelMsg{}},
+		{"cancelAck", &cancelAckMsg{Job: 1, Step: 2, Attempt: 3, Worker: 4}, &cancelAckMsg{}},
+		{"aggData", &aggDataMsg{Job: 1, Step: 2, Attempt: 3, Worker: 4, Name: "support", Data: []byte{1, 2, 0, 255}}, &aggDataMsg{}},
+		{"aggDataEmpty", &aggDataMsg{Name: ""}, &aggDataMsg{}},
+		{"aggDone", &aggDoneMsg{Job: 1, Step: 2, Attempt: 3, Worker: 4, Sent: 2, Errs: []string{"boom", ""}}, &aggDoneMsg{}},
+		{"statusPing", &statusPingMsg{Job: 1, Step: 2, Attempt: 3, Round: 1 << 40}, &statusPingMsg{}},
+		{"statusReport", &statusReportMsg{Job: 1, Step: 2, Attempt: 3, Round: 7, Worker: 2, Running: true,
+			Active: 3, Processed: 1 << 50, ReqSent: 5, RespRecv: 4, ReqRecv: 9, RespSent: 9}, &statusReportMsg{}},
+		{"stealReq", &stealReqMsg{Job: 1, Step: 2, Attempt: 3, Worker: 1, Core: 2}, &stealReqMsg{}},
+		{"stealResp", &stealRespMsg{Job: 1, Step: 2, Attempt: 3, Core: 2, Prefix: []subgraph.Word{0, -1, 1 << 30, 42}}, &stealRespMsg{}},
+		{"stealRespEmpty", &stealRespMsg{Job: 1}, &stealRespMsg{}},
+		{"register", &registerMsg{Addr: "10.0.0.7:6001", Cores: 16}, &registerMsg{}},
+		{"welcome", &welcomeMsg{Worker: 2, CoresPerWorker: 4, WS: uint8(WSBoth), IdleSleep: 100_000, WorkerTimeout: 60_000_000_000,
+			Peers: []peerAddr{{Worker: 0, Addr: "a:1"}, {Worker: 1, Addr: "b:2"}}}, &welcomeMsg{}},
+		{"welcomeNoPeers", &welcomeMsg{Worker: 0, CoresPerWorker: 1}, &welcomeMsg{}},
+		{"peerJoin", &peerJoinMsg{Worker: 3, Addr: "c:3"}, &peerJoinMsg{}},
+		{"jobSpec", &jobSpecMsg{Job: 2, App: "cliques", Graph: "/tmp/g.el",
+			Args: []kvPair{{"k", "4"}, {"engine", "plan"}},
+			Env:  []envEntry{{Name: "support1", Data: []byte{9, 8, 7}}}}, &jobSpecMsg{}},
+		{"jobSpecBare", &jobSpecMsg{Job: 0, App: "motifs", Graph: "g"}, &jobSpecMsg{}},
+		{"jobSpecAck", &jobSpecAckMsg{Job: 2, Worker: 1, Err: "load failed"}, &jobSpecAckMsg{}},
+		{"jobEnd", &jobEndMsg{Job: 5}, &jobEndMsg{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := encode(tc.in)
+			if err := decode(body, tc.out); err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(tc.in, tc.out) {
+				t.Errorf("round trip mismatch:\n in  %+v\n out %+v", tc.in, tc.out)
+			}
+		})
+	}
+}
+
+// TestMessageCodecValueAndPointerAgree guards the call-site convenience of
+// encoding either form.
+func TestMessageCodecValueAndPointerAgree(t *testing.T) {
+	m := stepStartMsg{Job: 1, Step: 2, Attempt: 3, Workers: []int{1, 2}}
+	a, b := encode(m), encode(&m)
+	if string(a) != string(b) {
+		t.Errorf("value and pointer encodings differ: %x vs %x", a, b)
+	}
+}
+
+// TestMessageCodecRejectsCorrupt feeds truncated and trailing-garbage bodies
+// to decode; every case must error rather than yield a half-filled struct.
+func TestMessageCodecRejectsCorrupt(t *testing.T) {
+	body := encode(&aggDataMsg{Job: 1, Step: 2, Attempt: 3, Worker: 4, Name: "n", Data: []byte{1, 2, 3}})
+	for cut := 0; cut < len(body); cut++ {
+		if err := decode(body[:cut], &aggDataMsg{}); err == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly", cut, len(body))
+		}
+	}
+	if err := decode(append(append([]byte{}, body...), 0xFF), &aggDataMsg{}); err == nil {
+		t.Error("trailing garbage decoded cleanly")
+	}
+	// A corrupt slice length must not drive a giant allocation.
+	huge := encode(&stepStartMsg{Job: 1})
+	huge = append(huge[:3], 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if err := decode(huge, &stepStartMsg{}); err == nil {
+		t.Error("oversized slice length decoded cleanly")
+	}
+}

@@ -104,6 +104,12 @@ type jobRun struct {
 	stateTotal atomic.Int64
 	// tracer is the run's trace journal (nil when tracing is disabled).
 	tracer *metrics.Tracer
+	// envWire is the encoded environment delta shipped with the step start
+	// (master mode only): every aggregation committed by earlier steps of
+	// this job, so remote workers — including ones that joined mid-job —
+	// reconstruct the environment the master's merge produced. In-process
+	// runs share the registry by reference and leave it nil.
+	envWire []envEntry
 	// rounds journals the master's quiescence polling for the current step
 	// (master-only, rebuilt per step); roundsTotal counts rounds past the
 	// maxRecordedRounds cap.
@@ -119,11 +125,27 @@ type jobRun struct {
 }
 
 // Runtime is the master plus its workers. Create with New, run any number
-// of jobs with Run, and release with Close.
+// of jobs with Run (in-process deployments) or RunSpec (any deployment),
+// and release with Close.
+//
+// With Config.ListenAddr set the runtime is a distributed master: it spawns
+// no in-process workers and instead serves registrations from fractal-worker
+// processes (ServeWorker) on its TCP listener. The worker set is dynamic —
+// the registry feeds each step attempt's participant list, so a worker that
+// registers mid-job joins at the next attempt boundary.
 type Runtime struct {
 	cfg     Config
 	master  rpc.Transport
 	workers []*worker
+	// reg is the worker registry; non-nil exactly in master mode.
+	reg *registry
+	// graphs caches graphs loaded for spec-based jobs, keyed by path.
+	graphs graphCache
+	// inbox receives every step-protocol envelope. The router goroutine owns
+	// master.Recv() and forwards here, peeling off registration traffic; the
+	// run loop's quiescence, aggregation, and drain waits all read the inbox.
+	inbox    chan rpc.Envelope
+	routerWg sync.WaitGroup
 
 	mu     sync.Mutex
 	run    *jobRun
@@ -133,7 +155,25 @@ type Runtime struct {
 
 // New builds and starts a runtime.
 func New(cfg Config) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	listen := cfg.ListenAddr
 	cfg = cfg.withDefaults()
+	rt := &Runtime{cfg: cfg, inbox: make(chan rpc.Envelope, inboxDepth)}
+	if listen != "" {
+		// Master mode: a TCP listener and a registry instead of in-process
+		// workers.
+		node, err := rpc.NewTCPNode(rpc.Master, listen, rpc.DefaultTCPOptions())
+		if err != nil {
+			return nil, fmt.Errorf("sched: master listener: %w", err)
+		}
+		rt.master = rpc.WithFaultInjector(node, cfg.FaultInjector)
+		rt.reg = newRegistry(rt, node)
+		rt.routerWg.Add(1)
+		go rt.router()
+		return rt, nil
+	}
 	ids := []rpc.NodeID{rpc.Master}
 	for i := 0; i < cfg.Workers; i++ {
 		ids = append(ids, rpc.NodeID(i))
@@ -155,17 +195,84 @@ func New(cfg Config) (*Runtime, error) {
 			nw[id] = rpc.WithFaultInjector(tr, cfg.FaultInjector)
 		}
 	}
-	rt := &Runtime{cfg: cfg, master: nw[rpc.Master]}
+	rt.master = nw[rpc.Master]
 	for i := 0; i < cfg.Workers; i++ {
 		w := newWorker(i, cfg, rt, nw[rpc.NodeID(i)])
 		rt.workers = append(rt.workers, w)
 		w.start()
 	}
+	rt.routerWg.Add(1)
+	go rt.router()
 	return rt, nil
+}
+
+// inboxDepth buffers the master's step-protocol inbox. The run loop drains it
+// continuously during a step; the buffer only absorbs between-step stragglers
+// (late acks and partials of abandoned attempts).
+const inboxDepth = 4096
+
+// router owns the master transport's receive channel: registration traffic
+// goes to the registry (it must be served even while no job is running, and
+// while the run loop is blocked in a quiescence wait), everything else to the
+// inbox the run loop reads. A full inbox drops the message — equivalent to a
+// network loss, which every consumer already tolerates through attempt
+// tagging and timeouts.
+func (r *Runtime) router() {
+	defer r.routerWg.Done()
+	defer close(r.inbox)
+	for env := range r.master.Recv() {
+		switch env.Kind {
+		case kRegister:
+			if r.reg != nil {
+				r.reg.handleRegister(env)
+			}
+		case kJobSpecAck:
+			if r.reg != nil {
+				r.reg.handleAck(env)
+			}
+		default:
+			select {
+			case r.inbox <- env:
+			default:
+			}
+		}
+	}
 }
 
 // Config returns the runtime's effective configuration.
 func (r *Runtime) Config() Config { return r.cfg }
+
+// ListenAddr returns the bound address of the master's listener ("" unless
+// in master mode). With Config.ListenAddr ":0" this is how tests and
+// launchers learn the actual port.
+func (r *Runtime) ListenAddr() string {
+	if r.reg == nil {
+		return ""
+	}
+	return r.reg.node.Addr()
+}
+
+// AwaitWorkers blocks until at least n workers have registered (master mode),
+// or ctx ends. It does not wait for job-spec readiness — that is per job.
+func (r *Runtime) AwaitWorkers(ctx context.Context, n int) error {
+	if r.reg == nil {
+		return fmt.Errorf("sched: AwaitWorkers requires master mode (Config.ListenAddr)")
+	}
+	return r.reg.awaitWorkers(ctx, n)
+}
+
+// allWorkerIDs lists every worker the master can address: the static set in
+// in-process deployments, the registered set in master mode.
+func (r *Runtime) allWorkerIDs() []int {
+	if r.reg != nil {
+		return r.reg.workerIDs()
+	}
+	ids := make([]int, len(r.workers))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
 
 // Close shuts the runtime down. It must not be called concurrently with Run.
 func (r *Runtime) Close() {
@@ -176,8 +283,8 @@ func (r *Runtime) Close() {
 	}
 	r.closed = true
 	r.mu.Unlock()
-	for i := range r.workers {
-		r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kShutdown})
+	for _, id := range r.allWorkerIDs() {
+		r.master.Send(rpc.NodeID(id), rpc.Envelope{Kind: kShutdown})
 	}
 	for _, w := range r.workers {
 		// Close the transport before waiting on the router: a worker whose
@@ -187,12 +294,38 @@ func (r *Runtime) Close() {
 		w.stop()
 	}
 	r.master.Close()
+	r.routerWg.Wait()
 }
 
 func (r *Runtime) currentRun() *jobRun {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.run
+}
+
+// runFor implements runProvider for in-process workers: the published run,
+// when the message matches it.
+func (r *Runtime) runFor(m stepStartMsg) *jobRun {
+	run := r.currentRun()
+	if run == nil || run.job != m.Job || run.attempt != m.Attempt || m.Step >= len(run.steps) {
+		return nil
+	}
+	return run
+}
+
+// handleControl implements runProvider: in-process workers receive no
+// registration or job-spec traffic.
+func (r *Runtime) handleControl(w *worker, env rpc.Envelope) {}
+
+// nextJobID reserves a job sequence number, or reports the runtime closed.
+func (r *Runtime) nextJobID() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, fmt.Errorf("sched: runtime closed")
+	}
+	r.jobSeq++
+	return r.jobSeq, nil
 }
 
 // Run executes one job: the workflow is split into fractal steps around its
@@ -220,6 +353,9 @@ func (r *Runtime) currentRun() *jobRun {
 // are bit-identical to fault-free runs. When the budget runs out the job
 // fails with a *RetryExhaustedError wrapping the last loss.
 func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
+	if r.reg != nil {
+		return nil, fmt.Errorf("sched: a master-mode runtime executes serializable job specs: use RunSpec")
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -232,6 +368,17 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	if job.Custom != nil && job.Kind != subgraph.VertexInduced {
 		return nil, fmt.Errorf("sched: custom enumerators require a vertex-induced job")
 	}
+	jobID, err := r.nextJobID()
+	if err != nil {
+		return nil, err
+	}
+	return r.runJob(ctx, jobID, job)
+}
+
+// runJob executes a validated job under the given ID: the step retry loop
+// shared by Run (in-process) and RunSpec (master mode). The caller has
+// already distributed the job to the participants in master mode.
+func (r *Runtime) runJob(ctx context.Context, jobID int, job Job) (*Result, error) {
 	env := job.Env
 	if env == nil {
 		env = agg.NewRegistry()
@@ -244,15 +391,6 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil, fmt.Errorf("sched: runtime closed")
-	}
-	r.jobSeq++
-	jobID := r.jobSeq
-	r.mu.Unlock()
 
 	var tracer *metrics.Tracer
 	if r.cfg.Trace {
@@ -270,8 +408,13 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	// Workers lost during this job are excluded from subsequent attempts
 	// (and steps): a worker that timed out once is more likely dead than
 	// slow, and readmitting it would spend the whole retry budget
-	// rediscovering that.
+	// rediscovering that. In master mode the ready set underneath is
+	// dynamic: a worker that registers (and acks the spec) mid-job enters at
+	// the next attempt boundary.
 	excluded := map[int]bool{}
+	// envWire accumulates the encoded aggregations committed by this job's
+	// completed steps (master mode only), shipped with every step start.
+	var envWire []envEntry
 	for i, s := range steps {
 		rep := StepReport{Index: i, Workflow: step.Workflow(s.Primitives).String()}
 		if r.effectFree(s) {
@@ -288,15 +431,23 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 		var stepErr error
 		attempt := 0
 		for {
-			parts := r.participants(excluded)
+			parts := r.participantsFor(jobID, excluded)
 			if len(parts) == 0 {
 				// Every worker has been lost at some point. Readmit them
 				// all: the remaining budget is better spent probing for a
 				// recovered transport than failing outright.
 				clear(excluded)
-				parts = r.participants(excluded)
+				parts = r.participantsFor(jobID, excluded)
+			}
+			if len(parts) == 0 {
+				// Master mode with no spec-ready worker left at all: nothing
+				// can execute the step, and declaring quiescence over an
+				// empty participant set would silently commit empty results.
+				stepErr = fmt.Errorf("no ready workers")
+				break
 			}
 			run = r.newAttempt(jobID, attempt, parts, job, steps, env, tracer)
+			run.envWire = envWire
 			r.mu.Lock()
 			r.run = run
 			r.mu.Unlock()
@@ -351,7 +502,18 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 		}
 		rep.Wall = time.Since(stepStart)
 		rep.Attempts = attempt + 1
-		fillReport(&rep, run)
+		if run != nil {
+			fillReport(&rep, run)
+		}
+		if stepErr == nil && r.reg != nil {
+			// Ship this step's committed aggregations with subsequent step
+			// starts: remote workers reconstruct the environment from these
+			// deltas (in-process workers share the registry by reference).
+			var encErr error
+			if envWire, encErr = appendEnvWire(envWire, env, s); encErr != nil {
+				stepErr = encErr
+			}
+		}
 		if stepErr != nil {
 			// The step was abandoned: report the partial work done before
 			// the cancellation (or worker loss) took effect. executeStep
@@ -370,9 +532,14 @@ func (r *Runtime) Run(ctx context.Context, job Job) (*Result, error) {
 	return res, nil
 }
 
-// participants returns the worker IDs taking part in the next attempt, in
-// rank order.
-func (r *Runtime) participants(excluded map[int]bool) []int {
+// participantsFor returns the worker IDs taking part in the job's next step
+// attempt, in rank order: the static worker set in-process, the job's
+// spec-ready registered workers in master mode — re-queried on every attempt,
+// which is what lets a worker that joined mid-job enter the next one.
+func (r *Runtime) participantsFor(jobID int, excluded map[int]bool) []int {
+	if r.reg != nil {
+		return r.reg.readyWorkers(jobID, excluded)
+	}
 	parts := make([]int, 0, r.cfg.Workers)
 	for i := 0; i < r.cfg.Workers; i++ {
 		if !excluded[i] {
@@ -380,6 +547,33 @@ func (r *Runtime) participants(excluded map[int]bool) []int {
 		}
 	}
 	return parts
+}
+
+// appendEnvWire folds the step's committed aggregations into the job's
+// encoded environment delta, replacing superseded entries in place.
+func appendEnvWire(envWire []envEntry, env *agg.Registry, s *step.Step) ([]envEntry, error) {
+	for _, sp := range s.AggSpecs() {
+		store, ok := env.Get(sp.Name)
+		if !ok {
+			continue
+		}
+		data, err := store.Encode()
+		if err != nil {
+			return envWire, fmt.Errorf("encoding environment delta %q: %w", sp.Name, err)
+		}
+		replaced := false
+		for j := range envWire {
+			if envWire[j].Name == sp.Name {
+				envWire[j].Data = data
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			envWire = append(envWire, envEntry{Name: sp.Name, Data: data})
+		}
+	}
+	return envWire, nil
 }
 
 // newAttempt builds the fresh shared state for one execution attempt of a
@@ -447,8 +641,12 @@ func fillReport(rep *StepReport, run *jobRun) {
 
 // buildReport assembles the run-level observability record.
 func (r *Runtime) buildReport(res *Result, tracer *metrics.Tracer, preStats TransportStats, retries, workersLost int) *RunReport {
+	workers := r.cfg.Workers
+	if r.reg != nil {
+		workers = len(r.reg.workerIDs())
+	}
 	rep := &RunReport{
-		Workers:        r.cfg.Workers,
+		Workers:        workers,
 		CoresPerWorker: r.cfg.CoresPerWorker,
 		WS:             r.cfg.WS.String(),
 		Wall:           res.Wall,
@@ -494,7 +692,7 @@ func (r *Runtime) executeStep(ctx context.Context, run *jobRun, idx int, s *step
 	if run.tracer != nil {
 		run.tracer.Emit(metrics.TraceEvent{Kind: metrics.TraceStepStart, Step: idx, Worker: -1, Core: -1})
 	}
-	startBody := encode(stepStartMsg{Job: run.job, Step: idx, Attempt: run.attempt, Workers: run.parts})
+	startBody := encode(stepStartMsg{Job: run.job, Step: idx, Attempt: run.attempt, Workers: run.parts, Env: run.envWire})
 	for _, wid := range run.parts {
 		if e := r.master.Send(rpc.NodeID(wid), rpc.Envelope{Kind: kStepStart, Body: startBody}); e != nil {
 			return &WorkerLostError{Worker: wid, Step: idx, Phase: "step-start", Err: e}
@@ -542,8 +740,9 @@ func (r *Runtime) broadcastCancel(run *jobRun, idx int) {
 	// Cancel goes to every worker, not just this attempt's participants: an
 	// excluded worker may still be draining the failed attempt that got it
 	// excluded.
-	for i := range r.workers {
-		r.master.Send(rpc.NodeID(i), rpc.Envelope{Kind: kCancel, Body: body})
+	all := r.allWorkerIDs()
+	for _, id := range all {
+		r.master.Send(rpc.NodeID(id), rpc.Envelope{Kind: kCancel, Body: body})
 	}
 	acked := map[int]bool{}
 	defer func() {
@@ -556,9 +755,9 @@ func (r *Runtime) broadcastCancel(run *jobRun, idx int) {
 	}()
 	deadline := time.NewTimer(cancelDrainWait)
 	defer deadline.Stop()
-	for len(acked) < len(r.workers) {
+	for len(acked) < len(all) {
 		select {
-		case env, ok := <-r.master.Recv():
+		case env, ok := <-r.inbox:
 			if !ok {
 				return
 			}
@@ -622,7 +821,7 @@ func (r *Runtime) awaitQuiescence(ctx context.Context, run *jobRun, idx int) err
 		lost.Reset(r.cfg.WorkerTimeout)
 		for len(reports) < len(run.parts) {
 			select {
-			case env, ok := <-r.master.Recv():
+			case env, ok := <-r.inbox:
 				if !ok {
 					return fmt.Errorf("master transport closed")
 				}
@@ -750,7 +949,7 @@ func (r *Runtime) collectAggregations(ctx context.Context, run *jobRun, idx int,
 	defer lost.Stop()
 	for doneWorkers < len(run.parts) {
 		select {
-		case env, ok := <-r.master.Recv():
+		case env, ok := <-r.inbox:
 			if !ok {
 				return fmt.Errorf("master transport closed")
 			}

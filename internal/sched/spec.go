@@ -1,0 +1,242 @@
+// Serializable job specifications. An in-process Job carries live Go objects
+// (the graph, compiled plans, workflow closures) that cannot cross a process
+// boundary; a JobSpec names the same job symbolically — a registered
+// application, a graph path, string arguments — so master and worker
+// processes each materialize an identical Job from it. This is the role
+// closure serialization plays for the paper's Spark implementation; here the
+// closed set of registered apps replaces arbitrary closures, and gob remains
+// only inside aggregation payloads for custom user shapes.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fractal/internal/agg"
+	"fractal/internal/graph"
+	"fractal/internal/rpc"
+)
+
+// JobSpec names a job in a form that crosses process boundaries: which
+// registered application to run, over which graph file, with which
+// arguments. Both sides build the concrete Job with the app's SpecBuilder,
+// whose determinism (same spec + same graph → identical workflow and step
+// list) is what makes distributed results bit-identical to in-process ones.
+type JobSpec struct {
+	// App is the registered application name (RegisterApp).
+	App string
+	// Graph is the path of the input graph, loaded (and cached) by every
+	// participant. The file must be readable at the same path on every
+	// machine — shipped graphs are out of scope here.
+	Graph string
+	// Args parameterizes the app (e.g. {"k": "4"}). Encoded sorted by key.
+	Args map[string]string
+}
+
+// Arg returns the named argument ("" when absent).
+func (s JobSpec) Arg(key string) string { return s.Args[key] }
+
+// SpecBuilder materializes jobs for one registered application.
+// Implementations must be deterministic and safe for concurrent use.
+type SpecBuilder interface {
+	// EnvProtos returns a prototype store for every environment aggregation
+	// the spec's workflow may read (Job.Env entries): the decode templates
+	// for environment values arriving over the wire. Names absent from the
+	// map cannot be shipped to workers.
+	EnvProtos(spec JobSpec) (map[string]agg.Store, error)
+	// Build constructs the job against a loaded graph and environment.
+	Build(spec JobSpec, g *graph.Graph, env *agg.Registry) (Job, error)
+}
+
+var (
+	appsMu sync.RWMutex
+	apps   = map[string]SpecBuilder{}
+)
+
+// RegisterApp installs the builder for an application name; both the master
+// and every worker binary must register the same apps (typically from an
+// init function of the package defining the app). Re-registering a name
+// panics: two builders for one name means results depend on link order.
+func RegisterApp(name string, b SpecBuilder) {
+	appsMu.Lock()
+	defer appsMu.Unlock()
+	if name == "" || b == nil {
+		panic("sched: RegisterApp requires a name and a builder")
+	}
+	if _, dup := apps[name]; dup {
+		panic(fmt.Sprintf("sched: app %q registered twice", name))
+	}
+	apps[name] = b
+}
+
+// builderFor resolves a registered application.
+func builderFor(name string) (SpecBuilder, error) {
+	appsMu.RLock()
+	defer appsMu.RUnlock()
+	b, ok := apps[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown app %q (not registered in this binary)", name)
+	}
+	return b, nil
+}
+
+// specToMsg encodes a spec for the wire, with canonical (sorted) argument
+// order.
+func specToMsg(jobID int, spec JobSpec, env []envEntry) jobSpecMsg {
+	m := jobSpecMsg{Job: jobID, App: spec.App, Graph: spec.Graph, Env: env}
+	keys := make([]string, 0, len(spec.Args))
+	for k := range spec.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.Args = append(m.Args, kvPair{K: k, V: spec.Args[k]})
+	}
+	return m
+}
+
+// msgToSpec is the wire inverse of specToMsg.
+func msgToSpec(m jobSpecMsg) JobSpec {
+	spec := JobSpec{App: m.App, Graph: m.Graph}
+	if len(m.Args) > 0 {
+		spec.Args = make(map[string]string, len(m.Args))
+		for _, kv := range m.Args {
+			spec.Args[kv.K] = kv.V
+		}
+	}
+	return spec
+}
+
+// encodeEnv serializes the environment stores named by protos, the entries a
+// spec ships to workers. Every proto name present in env is included.
+func encodeEnv(env *agg.Registry, protos map[string]agg.Store) ([]envEntry, error) {
+	if env == nil || len(protos) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(protos))
+	for n := range protos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []envEntry
+	for _, n := range names {
+		store, ok := env.Get(n)
+		if !ok {
+			continue
+		}
+		data, err := store.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("sched: encoding environment %q: %w", n, err)
+		}
+		out = append(out, envEntry{Name: n, Data: data})
+	}
+	return out, nil
+}
+
+// decodeEnv rebuilds a registry from wire entries using the protos as decode
+// templates.
+func decodeEnv(entries []envEntry, protos map[string]agg.Store) (*agg.Registry, error) {
+	env := agg.NewRegistry()
+	for _, e := range entries {
+		proto, ok := protos[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("sched: environment %q has no registered prototype", e.Name)
+		}
+		store := proto.NewEmpty()
+		if err := store.DecodeAndMerge(e.Data); err != nil {
+			return nil, fmt.Errorf("sched: decoding environment %q: %w", e.Name, err)
+		}
+		env.Put(e.Name, store)
+	}
+	return env, nil
+}
+
+// graphCache loads each graph file once per process. Jobs in a sequence
+// (FSM's per-level specs, motifs' per-pattern specs) reuse the loaded graph.
+type graphCache struct {
+	mu sync.Mutex
+	m  map[string]*graph.Graph
+}
+
+func (c *graphCache) load(path string) (*graph.Graph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.m[path]; ok {
+		return g, nil
+	}
+	g, err := graph.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if c.m == nil {
+		c.m = map[string]*graph.Graph{}
+	}
+	c.m[path] = g
+	return g, nil
+}
+
+// RunSpec executes a serializable job spec. It works in every deployment:
+// an in-process runtime builds the job locally and runs it exactly as Run
+// would — which is what lets tests compare the two paths bit for bit — and a
+// master-mode runtime distributes the spec to the registered workers, waits
+// for at least one to materialize it, and drives the step protocol across
+// processes. env carries aggregations from previous jobs the workflow reads
+// (nil for none); the result's Env contains it plus everything the job
+// computed, exactly as with Run.
+func (r *Runtime) RunSpec(ctx context.Context, spec JobSpec, env *agg.Registry) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	builder, err := builderFor(spec.App)
+	if err != nil {
+		return nil, err
+	}
+	g, err := r.graphs.load(spec.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("sched: loading graph %q: %w", spec.Graph, err)
+	}
+	if env == nil {
+		env = agg.NewRegistry()
+	}
+	job, err := builder.Build(spec, g, env)
+	if err != nil {
+		return nil, fmt.Errorf("sched: building %q: %w", spec.App, err)
+	}
+	job.Env = env
+	if r.reg == nil {
+		return r.Run(ctx, job)
+	}
+	jobID, err := r.nextJobID()
+	if err != nil {
+		return nil, err
+	}
+	protos, err := builder.EnvProtos(spec)
+	if err != nil {
+		return nil, err
+	}
+	wireEnv, err := encodeEnv(env, protos)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.reg.distribute(ctx, specToMsg(jobID, spec, wireEnv)); err != nil {
+		return nil, err
+	}
+	defer r.reg.endJob(jobID)
+	return r.runJob(ctx, jobID, job)
+}
+
+// ServeWorkerOptions configures a worker process (ServeWorker).
+type ServeWorkerOptions struct {
+	// ListenAddr is the worker's own listener address for master and peer
+	// traffic (default "127.0.0.1:0"; use ":0" to serve remote peers).
+	ListenAddr string
+	// Cores advertises how many execution cores the worker offers. Advisory:
+	// the master dictates the actual CoresPerWorker in its registration
+	// reply, so every participant runs the same configuration.
+	Cores int
+	// FaultInjector, when non-nil, wraps the worker's transport exactly as
+	// Config.FaultInjector wraps in-process ones (chaos tests).
+	FaultInjector rpc.FaultInjector
+}

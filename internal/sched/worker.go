@@ -88,12 +88,29 @@ func (st *stepCtx) cancel() {
 	st.finish()
 }
 
+// runProvider resolves a step-start message to the job state the worker
+// should execute against, and handles the control messages the worker's
+// router does not know. In-process workers resolve against the Runtime's
+// published run (shared address space); remote worker processes resolve
+// against state they materialized from job specs received over the wire.
+type runProvider interface {
+	// runFor returns the jobRun matching the step-start message, or nil when
+	// the message refers to an unknown job, a stale attempt, or an
+	// out-of-range step — the worker then ignores the message, exactly as a
+	// worker whose step start was lost.
+	runFor(m stepStartMsg) *jobRun
+	// handleControl is offered every envelope the router has no case for
+	// (registration, job-spec, and peer-discovery traffic in remote
+	// deployments).
+	handleControl(w *worker, env rpc.Envelope)
+}
+
 // worker is one worker node: it owns cores and a message router serving
 // step control, status pings, and external steal requests.
 type worker struct {
 	id    int
 	cfg   Config
-	rt    *Runtime
+	runs  runProvider
 	tr    rpc.Transport
 	cores []*core
 
@@ -110,8 +127,8 @@ type worker struct {
 	wg sync.WaitGroup
 }
 
-func newWorker(id int, cfg Config, rt *Runtime, tr rpc.Transport) *worker {
-	w := &worker{id: id, cfg: cfg, rt: rt, tr: tr}
+func newWorker(id int, cfg Config, runs runProvider, tr rpc.Transport) *worker {
+	w := &worker{id: id, cfg: cfg, runs: runs, tr: tr}
 	for i := 0; i < cfg.CoresPerWorker; i++ {
 		w.cores = append(w.cores, newCore(w, i))
 	}
@@ -165,16 +182,18 @@ func (w *worker) route() {
 		case kShutdown:
 			w.abortCurrent()
 			return
+		default:
+			w.runs.handleControl(w, env)
 		}
 	}
 	w.abortCurrent()
 }
 
-// startStep builds the step context from the runtime's published run state
-// and launches the cores.
+// startStep builds the step context from the provider's run state and
+// launches the cores.
 func (w *worker) startStep(m stepStartMsg) {
-	run := w.rt.currentRun()
-	if run == nil || run.job != m.Job || run.attempt != m.Attempt || m.Step >= len(run.steps) {
+	run := w.runs.runFor(m)
+	if run == nil {
 		return
 	}
 	rank := -1

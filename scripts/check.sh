@@ -15,3 +15,4 @@ go vet ./...
 go build ./...
 go test ./...
 make chaos
+make check-dist

@@ -1,0 +1,11 @@
+#!/bin/sh
+# check_dist.sh verifies the distributed deployment path end to end: it
+# builds both binaries, then runs the distributed differential suite —
+# spec builders against the fluent kernels, goroutine workers over TCP
+# loopback (registration, elastic join, scripted worker loss), and real
+# fractal-worker OS processes including the SIGKILL-mid-step case. Counts
+# must be bit-identical to the in-process engine throughout.
+set -eux
+cd "$(dirname "$0")/.."
+go build ./cmd/fractal ./cmd/fractal-worker
+go test -run 'TestDist' -count=1 ./internal/apps/

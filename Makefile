@@ -1,4 +1,4 @@
-.PHONY: check check-race check-dist chaos test build vet bench bench-micro bench-agg bench-plan fuzz-agg fuzz-plan
+.PHONY: check check-race check-dist chaos test build vet bench bench-micro bench-agg bench-plan bench-graph fuzz-agg fuzz-plan fuzz-graph
 
 check:
 	./scripts/check.sh
@@ -56,10 +56,23 @@ bench-plan:
 	go test -run=NONE -bench='MotifsPlan|MotifsCanon|CliquesPlan|CliquesCanon' \
 		-benchtime=$(BENCHTIME) -benchmem ./internal/apps/
 
+# CSR + .fgr storage microbenchmarks: mmap load vs edge-list parse (with
+# live-heap deltas), neighbor-scan throughput of the packed CSR arrays vs
+# per-vertex slices, and the decode/validation pass (EXPERIMENTS.md). CI
+# runs this with BENCHTIME=1x as a smoke test.
+bench-graph:
+	go test -run=NONE -bench='FGRLoad|NeighborScan|FGRDecode' \
+		-benchtime=$(BENCHTIME) -benchmem ./internal/graph/
+
 # Short fuzz of the aggregation wire codec (decoders must fail cleanly on
 # arbitrary bytes).
 fuzz-agg:
 	go test -run=NONE -fuzz=FuzzBinaryCodec -fuzztime=10s ./internal/agg/
+
+# Short fuzz of the .fgr decoder over the checked-in corruption corpus
+# (malformed graphs must yield typed errors, never panics or over-reads).
+fuzz-graph:
+	go test -run=NONE -fuzz=FuzzLoadFGR -fuzztime=10s ./internal/graph/
 
 # Short fuzz of the pattern-plan compiler (every connected pattern must
 # compile to a total, restriction-consistent plan).

@@ -10,7 +10,9 @@
 // The master dictates the execution configuration (cores per worker, work
 // stealing, timeouts) in its registration reply; -cores is advisory. Job
 // specs name graphs by path, so the graph files must be readable at the
-// same paths on this machine.
+// same paths on this machine. A ".fgr" graph (see `fractal -convert`) is
+// memory-mapped rather than parsed, so worker processes sharing a machine
+// share one physical copy of the graph.
 package main
 
 import (

@@ -15,6 +15,14 @@
 //
 // Runtime flags: -workers, -cores, -ws (none|internal|external|both), -tcp.
 //
+// Conversion:
+//
+//	-convert <out.fgr>   convert -graph to the binary .fgr format and exit.
+//	                     An .fgr graph is memory-mapped at load instead of
+//	                     parsed, and worker processes sharing a machine map
+//	                     one physical copy; point -graph (or a distributed
+//	                     job's graph path) at the .fgr file to use it.
+//
 // Distributed flags:
 //
 //	-listen <addr>       run as a distributed master: serve registrations
@@ -73,7 +81,8 @@ func init() {
 
 func main() {
 	var (
-		graphPath  = flag.String("graph", "", "input graph file (.graph, .el)")
+		graphPath  = flag.String("graph", "", "input graph file (.graph, .el, .fgr)")
+		convertOut = flag.String("convert", "", "convert -graph to the binary .fgr format at this path and exit")
 		app        = flag.String("app", "", "application to run")
 		k          = flag.Int("k", 3, "subgraph size (motifs, cliques)")
 		kclist     = flag.Bool("kclist", false, "use the KClist custom enumerator (cliques)")
@@ -123,6 +132,17 @@ func main() {
 			os.Exit(2)
 		}
 		check(explainApp(*app, *k, *queryName))
+		return
+	}
+	if *convertOut != "" {
+		if *graphPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		g, err := fractal.ConvertGraph(*graphPath, *convertOut)
+		check(err)
+		s := g.Stats()
+		fmt.Printf("converted %s -> %s: |V|=%d |E|=%d |L|=%d\n", *graphPath, *convertOut, s.V, s.E, s.L)
 		return
 	}
 	if *graphPath == "" || *app == "" {

@@ -420,7 +420,9 @@ func (c *Context) RunSpec(ctx context.Context, spec JobSpec, env *Aggregations) 
 }
 
 // LoadGraph loads a graph file (operator I1 of Figure 2). The format is
-// chosen by extension: ".graph" adjacency list, ".el" labeled edge list; a
+// chosen by extension: ".graph" adjacency list, ".el" labeled edge list, or
+// ".fgr" prebuilt binary CSR (memory-mapped instead of parsed; produce one
+// with ConvertGraph or `fractal -convert`). For the text formats a
 // "<path>.kw" keyword sidecar is applied when present.
 func (c *Context) LoadGraph(path string) (*Graph, error) {
 	g, err := graph.LoadFile(path)
@@ -428,6 +430,23 @@ func (c *Context) LoadGraph(path string) (*Graph, error) {
 		return nil, fmt.Errorf("fractal: loading %s: %w", path, err)
 	}
 	return &Graph{ctx: c, g: g}, nil
+}
+
+// ConvertGraph loads the graph file at inPath (any format LoadGraph
+// accepts) and writes it to outPath in the binary .fgr format, atomically.
+// Loading an .fgr file is a single mmap plus a validation pass — no parse,
+// no per-vertex allocations — and every process mapping the same file
+// shares one physical copy of the graph's CSR arrays. It returns the
+// converted graph for inspection (callers typically print its Stats).
+func ConvertGraph(inPath, outPath string) (*RawGraph, error) {
+	g, err := graph.LoadFile(inPath)
+	if err != nil {
+		return nil, fmt.Errorf("fractal: loading %s: %w", inPath, err)
+	}
+	if err := graph.SaveFGR(outPath, g); err != nil {
+		return nil, fmt.Errorf("fractal: writing %s: %w", outPath, err)
+	}
+	return g, nil
 }
 
 // AdjacencyList is the original name of LoadGraph, retained as an alias.

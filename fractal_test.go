@@ -515,6 +515,34 @@ func TestPlanAPI(t *testing.T) {
 	}
 }
 
+// A chain with output primitives but no Expand must fail with a typed
+// error, not panic the DFS engine (regression: CountCtx on a bare
+// PFractoidPlan seeded roots into a step with no extension levels).
+func TestNoExpandRejected(t *testing.T) {
+	ctx := testContext(t)
+	g := ctx.FromGraph(k4Graph())
+	plan, err := CompilePlan(PatternClique(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.PFractoidPlan(plan).Count(); err == nil {
+		t.Error("Count without Expand accepted")
+	}
+	if _, err := g.VFractoid().Visit(func(*Subgraph) {}).RunCtx(context.Background()); err == nil {
+		t.Error("Visit without Expand accepted")
+	}
+	// Effect-free no-extension chains stay runnable: steps report Skipped.
+	res, err := g.VFractoid().RunCtx(context.Background())
+	if err != nil {
+		t.Fatalf("effect-free chain: %v", err)
+	}
+	for _, s := range res.Steps {
+		if !s.Skipped {
+			t.Errorf("step %d not skipped: %+v", s.Index, s)
+		}
+	}
+}
+
 func TestCombineResults(t *testing.T) {
 	ctx := testContext(t)
 	g := ctx.FromGraph(k4Graph())

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
 
 	"fractal"
+	"fractal/internal/graph"
 	"fractal/internal/rpc"
 	"fractal/internal/sched"
 	"fractal/internal/workload"
@@ -207,4 +209,43 @@ func TestChaosCliquesTCP(t *testing.T) {
 		t.Errorf("cliques over TCP under faults=%d, want %d", got, want)
 	}
 	requireLossObserved(t, script, res, "tcp sever")
+}
+
+// TestChaosCliquesFGR repeats the clique chaos runs over a memory-mapped
+// .fgr graph: worker loss and step retry must be invisible to the storage
+// layer — counts stay bit-identical to the fault-free in-memory baseline
+// while every enumeration reads straight out of the mapping.
+func TestChaosCliquesFGR(t *testing.T) {
+	raw := workload.ErdosRenyi("chaos-fgr", 60, 220, 2, 33)
+	path := filepath.Join(t.TempDir(), "chaos-fgr.fgr")
+	if err := graph.SaveFGR(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graph.LoadFGR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Mapped() {
+		t.Fatal("LoadFGR graph does not report Mapped")
+	}
+	t.Cleanup(func() { mapped.Close() })
+
+	base := chaosCtx(t, nil)
+	want, _, err := Cliques(base, base.FromGraph(raw), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := 1; seed <= chaosSeeds(t); seed++ {
+		rng := rand.New(rand.NewSource(int64(400 + seed)))
+		script, label := chaosSchedule(rng, false)
+		ctx := chaosCtx(t, script)
+		got, res, err := Cliques(ctx, ctx.FromGraph(mapped), 4)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, label, err)
+		}
+		if got != want {
+			t.Errorf("seed %d (%s): cliques over mmap=%d, want %d", seed, label, got, want)
+		}
+		requireLossObserved(t, script, res, fmt.Sprintf("seed %d (%s)", seed, label))
+	}
 }

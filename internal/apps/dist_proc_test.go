@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fractal"
+	"fractal/internal/graph"
 	"fractal/internal/workload"
 )
 
@@ -195,4 +196,53 @@ func TestDistProcessSIGKILL(t *testing.T) {
 	// the report must account for it.
 	t.Logf("kill after %v (healthy wall %v): lost=%d retries=%d",
 		delay, res.Wall, r.res.Report.WorkersLost, r.res.Report.Retries)
+}
+
+// TestDistProcessesSharedFGR converts the graph to .fgr and runs the master
+// plus two fractal-worker OS processes against it: every process memory-maps
+// the same file (sharing one physical copy of the CSR arrays) and the counts
+// must be bit-identical to the same run over the parsed edge-list file.
+func TestDistProcessesSharedFGR(t *testing.T) {
+	bin := workerBin(t)
+	raw := workload.ErdosRenyi("dist-fgr", 60, 220, 3, 53)
+	elPath := writeGraphFile(t, raw)
+	fgrPath := filepath.Join(filepath.Dir(elPath), "dist-fgr.fgr")
+	if err := graph.SaveFGR(fgrPath, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	oracle, load := inProcessOracle(t)
+	wantCliques, _, err := Cliques(oracle, load(elPath), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMotifs, _, err := Motifs(oracle, load(elPath), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master := distMaster(t)
+	spawnWorkerProc(t, bin, master.ListenAddr())
+	spawnWorkerProc(t, bin, master.ListenAddr())
+	awaitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := master.AwaitWorkers(awaitCtx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res, err := CliquesDist(context.Background(), master, fgrPath, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantCliques {
+		t.Errorf("cross-process cliques over .fgr=%d, edge-list run says %d", got, wantCliques)
+	}
+	if res.Report.Workers != 2 {
+		t.Errorf("report should record 2 worker processes, says %d", res.Report.Workers)
+	}
+	gotMotifs, _, err := MotifsDist(context.Background(), master, fgrPath, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifCountsEqual(t, "cross-process motifs over .fgr", 3, gotMotifs, wantMotifs)
 }

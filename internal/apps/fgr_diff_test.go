@@ -1,0 +1,131 @@
+package apps
+
+// End-to-end differential pins for the .fgr storage path: clique, motif, and
+// FSM results must be bit-identical whether the application kernels consume
+// the graph built in memory or memory-mapped from a converted .fgr file.
+// Together with the accessor pins in internal/graph and the trace pins in
+// internal/subgraph this closes the correctness wall around the mmap
+// storage layer.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"fractal"
+	"fractal/internal/graph"
+	"fractal/internal/workload"
+)
+
+// mmapGraph converts raw to .fgr in a temp dir and loads it through the
+// mmap path.
+func mmapGraph(t *testing.T, raw *graph.Graph) *graph.Graph {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), raw.Name()+".fgr")
+	if err := graph.SaveFGR(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := graph.LoadFGR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped.Mapped() {
+		t.Fatal("LoadFGR graph does not report Mapped")
+	}
+	t.Cleanup(func() { mapped.Close() })
+	return mapped
+}
+
+func fgrCtx(t *testing.T) *fractal.Context {
+	t.Helper()
+	ctx, err := fractal.NewContext(fractal.WithWorkers(2), fractal.WithCores(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctx.Close)
+	return ctx
+}
+
+// TestFGRAppsDifferential pins clique, motif, and FSM results over the
+// randomized workload graphs against the same run on the mmap'd .fgr copy.
+func TestFGRAppsDifferential(t *testing.T) {
+	ctx := fgrCtx(t)
+	graphs := []*graph.Graph{
+		workload.ErdosRenyi("fgr-er", 60, 220, 1, 61),
+		workload.ErdosRenyi("fgr-er-ml", 60, 220, 3, 62),
+		workload.BarabasiAlbert("fgr-ba", 80, 3, 2, 63),
+	}
+	for _, raw := range graphs {
+		mapped := mmapGraph(t, raw)
+		t.Run(raw.Name(), func(t *testing.T) {
+			wantCl, _, err := Cliques(ctx, ctx.FromGraph(raw), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCl, _, err := Cliques(ctx, ctx.FromGraph(mapped), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotCl != wantCl {
+				t.Errorf("cliques over mmap=%d, in-memory %d", gotCl, wantCl)
+			}
+
+			wantMo, _, err := Motifs(ctx, ctx.FromGraph(raw), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotMo, _, err := Motifs(ctx, ctx.FromGraph(mapped), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			motifCountsEqual(t, "mmap motifs", 3, gotMo, wantMo)
+
+			want, err := FSM(ctx, ctx.FromGraph(raw), 8, FSMOptions{MaxEdges: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := FSM(ctx, ctx.FromGraph(mapped), 8, FSMOptions{MaxEdges: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Frequent) != len(want.Frequent) {
+				t.Errorf("mmap FSM found %d frequent patterns, in-memory %d",
+					len(got.Frequent), len(want.Frequent))
+			}
+			for code, ds := range want.Frequent {
+				gds, ok := got.Frequent[code]
+				if !ok {
+					t.Errorf("mmap FSM lost pattern %q", code)
+					continue
+				}
+				if gds.Support() != ds.Support() {
+					t.Errorf("mmap FSM pattern %q support=%d, in-memory %d", code, gds.Support(), ds.Support())
+				}
+			}
+			if fmt.Sprint(got.PerLevel) != fmt.Sprint(want.PerLevel) {
+				t.Errorf("mmap FSM PerLevel=%v, in-memory %v", got.PerLevel, want.PerLevel)
+			}
+		})
+	}
+}
+
+// TestFGRKeywordSearchDifferential pins the keyword kernel — the one path
+// exercising in-format keyword sections — over the mmap'd copy.
+func TestFGRKeywordSearchDifferential(t *testing.T) {
+	ctx := fgrCtx(t)
+	raw := keywordTestGraph()
+	mapped := mmapGraph(t, raw)
+	kws := []string{"a", "b"}
+	want, err := KeywordSearch(ctx, ctx.FromGraph(raw), kws, KeywordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := KeywordSearch(ctx, ctx.FromGraph(mapped), kws, KeywordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matches != want.Matches || got.GraphV != want.GraphV || got.GraphE != want.GraphE {
+		t.Errorf("keyword search over mmap=(%d,%d,%d), in-memory (%d,%d,%d)",
+			got.Matches, got.GraphV, got.GraphE, want.Matches, want.GraphV, want.GraphE)
+	}
+}

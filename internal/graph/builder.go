@@ -93,38 +93,49 @@ func (b *Builder) NumVertices() int { return len(b.vlabels) }
 // NumEdges returns the number of edges added so far.
 func (b *Builder) NumEdges() int { return len(b.edges) }
 
-// Build freezes the builder into an immutable Graph with CSR adjacency.
-// The builder may be reused afterwards, but further mutation does not affect
-// the built Graph.
+// Build freezes the builder into an immutable Graph with a flat CSR core:
+// the builder's per-vertex and per-edge slices are packed into offset +
+// payload arrays (the same layout the .fgr format stores on disk). The
+// builder may be reused afterwards, but further mutation does not affect the
+// built Graph.
 func (b *Builder) Build() *Graph {
 	n := len(b.vlabels)
-	g := &Graph{
-		name:    b.name,
-		vlabels: append([][]Label(nil), b.vlabels...),
-		edges:   append([]Edge(nil), b.edges...),
-		dict:    b.dict,
+	m := len(b.edges)
+	g := &Graph{name: b.name, dict: b.dict}
+
+	// Pack edge endpoints and label sets.
+	g.esrc = make([]VertexID, m)
+	g.edst = make([]VertexID, m)
+	elabs := make([][]Label, m)
+	for id, e := range b.edges {
+		g.esrc[id], g.edst[id] = e.Src, e.Dst
+		elabs[id] = e.Labels
 	}
+	g.vlabOff, g.vlab = packLabels(b.vlabels)
+	g.elabOff, g.elab = packLabels(elabs)
+
+	// CSR adjacency.
 	deg := make([]int32, n+1)
-	for _, e := range g.edges {
-		deg[e.Src+1]++
-		deg[e.Dst+1]++
+	for id := 0; id < m; id++ {
+		deg[g.esrc[id]+1]++
+		deg[g.edst[id]+1]++
 	}
 	for i := 1; i <= n; i++ {
 		deg[i] += deg[i-1]
 	}
 	g.adjOff = deg
-	m := len(g.edges)
 	g.adjV = make([]VertexID, 2*m)
 	g.adjE = make([]EdgeID, 2*m)
 	cursor := make([]int32, n)
 	copy(cursor, g.adjOff[:n])
-	for id, e := range g.edges {
-		i := cursor[e.Src]
-		g.adjV[i], g.adjE[i] = e.Dst, EdgeID(id)
-		cursor[e.Src]++
-		j := cursor[e.Dst]
-		g.adjV[j], g.adjE[j] = e.Src, EdgeID(id)
-		cursor[e.Dst]++
+	for id := 0; id < m; id++ {
+		src, dst := g.esrc[id], g.edst[id]
+		i := cursor[src]
+		g.adjV[i], g.adjE[i] = dst, EdgeID(id)
+		cursor[src]++
+		j := cursor[dst]
+		g.adjV[j], g.adjE[j] = src, EdgeID(id)
+		cursor[dst]++
 	}
 	// Sort each adjacency run by (neighbor, edge id) to enable binary search.
 	for v := 0; v < n; v++ {
@@ -134,10 +145,27 @@ func (b *Builder) Build() *Graph {
 	}
 	g.numLabel = b.countLabels()
 	if b.hasKW {
-		g.vkeywords = append([][]Label(nil), b.vkeywords...)
-		g.ekeywords = append([][]Label(nil), b.ekeywords...)
+		g.vkwOff, g.vkw = packLabels(b.vkeywords)
+		g.ekwOff, g.ekw = packLabels(b.ekeywords)
 	}
 	return g
+}
+
+// packLabels flattens per-element label sets into an offsets array of length
+// len(sets)+1 and one packed payload array. Each input set is already sorted
+// and deduplicated (normLabels).
+func packLabels(sets [][]Label) (off []int32, packed []Label) {
+	off = make([]int32, len(sets)+1)
+	total := 0
+	for i, s := range sets {
+		total += len(s)
+		off[i+1] = int32(total)
+	}
+	packed = make([]Label, 0, total)
+	for _, s := range sets {
+		packed = append(packed, s...)
+	}
+	return off, packed
 }
 
 func (b *Builder) countLabels() int {

@@ -1,0 +1,252 @@
+package graph
+
+// Microbenchmarks for the CSR + .fgr storage layer (EXPERIMENTS.md):
+// load time of a memory-mapped .fgr against parsing the same graph from a
+// labeled edge list, the live heap each load leaves behind
+// (runtime.MemStats), and scan throughput of the packed flat arrays against
+// the retained seed representation (oraclegraph_test.go) they replaced —
+// CSR adjacency both before and after, but per-vertex []Label headers and
+// []Edge structs on the seed side.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// benchBuilder populates a deterministic ER-style multigraph big enough
+// that load and scan costs dominate fixed overheads.
+func benchBuilder() *Builder {
+	r := rand.New(rand.NewSource(97))
+	const n, m = 5000, 40000
+	b := NewBuilder("bench-fgr")
+	for i := 0; i < n; i++ {
+		b.AddVertex(Label(r.Intn(8)))
+	}
+	for i := 0; i < m; i++ {
+		u, v := VertexID(r.Intn(n)), VertexID(r.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, Label(r.Intn(4)))
+	}
+	return b
+}
+
+func benchGraph() *Graph { return benchBuilder().Build() }
+
+// benchFiles writes the benchmark graph in both on-disk formats and returns
+// their paths.
+func benchFiles(tb testing.TB, g *Graph) (fgrPath, elPath string) {
+	tb.Helper()
+	dir := tb.TempDir()
+	fgrPath = filepath.Join(dir, "bench.fgr")
+	if err := SaveFGR(fgrPath, g); err != nil {
+		tb.Fatal(err)
+	}
+	elPath = filepath.Join(dir, "bench.el")
+	f, err := os.Create(elPath)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		tb.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return fgrPath, elPath
+}
+
+// liveHeapDelta measures the live heap bytes one load leaves behind, via
+// before/after GC-settled MemStats readings.
+func liveHeapDelta(load func() *Graph) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	g := load()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if delta < 0 {
+		delta = 0
+	}
+	g.Close()
+	return float64(delta)
+}
+
+// BenchmarkFGRLoad times bringing the benchmark graph up from disk: the
+// mmap'd binary format against parsing the labeled edge list. The
+// live-heap-bytes metric shows what each load keeps resident on the Go heap
+// (the .fgr arrays alias the mapping, so its heap cost is near zero).
+func BenchmarkFGRLoad(b *testing.B) {
+	g := benchGraph()
+	fgrPath, elPath := benchFiles(b, g)
+	wantV, wantE := g.NumVertices(), g.NumEdges()
+	load := map[string]func() *Graph{
+		"fgr": func() *Graph {
+			lg, err := LoadFGR(fgrPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return lg
+		},
+		"edgelist": func() *Graph {
+			lg, err := LoadFile(elPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return lg
+		},
+	}
+	for _, name := range []string{"fgr", "edgelist"} {
+		b.Run(name, func(b *testing.B) {
+			live := liveHeapDelta(load[name])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lg := load[name]()
+				if lg.NumVertices() != wantV || lg.NumEdges() != wantE {
+					b.Fatalf("loaded |V|=%d |E|=%d, want |V|=%d |E|=%d",
+						lg.NumVertices(), lg.NumEdges(), wantV, wantE)
+				}
+				lg.Close()
+			}
+			b.ReportMetric(live, "live-heap-bytes")
+		})
+	}
+}
+
+// BenchmarkNeighborScan measures adjacency scan throughput through the
+// public accessor against the seed representation's identical CSR arrays:
+// the flat refactor must not regress the one path that was already packed.
+// Both walk every incidence of every vertex once per iteration.
+func BenchmarkNeighborScan(b *testing.B) {
+	bld := benchBuilder()
+	seed := seedBuild(bld)
+	g := bld.Build()
+	numV := g.NumVertices()
+	incid := float64(len(g.adjV))
+	var sink int64
+
+	b.Run("csr", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < numV; v++ {
+				for _, w := range g.Neighbors(VertexID(v)) {
+					sum += int64(w)
+				}
+			}
+		}
+		sink = sum
+		b.ReportMetric(incid*float64(b.N)/b.Elapsed().Seconds(), "incid/s")
+	})
+	b.Run("seed", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < numV; v++ {
+				for _, w := range seed.adjV[seed.adjOff[v]:seed.adjOff[v+1]] {
+					sum += int64(w)
+				}
+			}
+		}
+		sink = sum
+		b.ReportMetric(incid*float64(b.N)/b.Elapsed().Seconds(), "incid/s")
+	})
+	_ = sink
+}
+
+// BenchmarkAttributeScan measures the paths the flat refactor actually
+// changed: vertex-label access (packed spans vs one []Label header per
+// vertex) and edge-endpoint access (flat esrc/edst vs 32-byte Edge structs
+// with embedded slice headers). Each iteration touches every vertex's
+// labels and every edge's endpoints once.
+func BenchmarkAttributeScan(b *testing.B) {
+	bld := benchBuilder()
+	seed := seedBuild(bld)
+	g := bld.Build()
+	numV, numE := g.NumVertices(), g.NumEdges()
+	var sink int64
+
+	b.Run("labels/packed", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < numV; v++ {
+				for _, l := range g.VertexLabels(VertexID(v)) {
+					sum += int64(l)
+				}
+			}
+		}
+		sink = sum
+	})
+	b.Run("labels/seed", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < numV; v++ {
+				for _, l := range seed.vlabels[v] {
+					sum += int64(l)
+				}
+			}
+		}
+		sink = sum
+	})
+	// VertexLabel is the accessor the single-label kernels actually sit on;
+	// it reads one word through the offsets without building a subslice.
+	b.Run("firstlabel/packed", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < numV; v++ {
+				sum += int64(g.VertexLabel(VertexID(v)))
+			}
+		}
+		sink = sum
+	})
+	b.Run("firstlabel/seed", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for v := 0; v < numV; v++ {
+				if ls := seed.vlabels[v]; len(ls) > 0 {
+					sum += int64(ls[0])
+				} else {
+					sum--
+				}
+			}
+		}
+		sink = sum
+	})
+	b.Run("endpoints/flat", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for e := 0; e < numE; e++ {
+				s, d := g.EdgeEndpoints(EdgeID(e))
+				sum += int64(s) + int64(d)
+			}
+		}
+		sink = sum
+	})
+	b.Run("endpoints/seed", func(b *testing.B) {
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for e := 0; e < numE; e++ {
+				ed := seed.edges[e]
+				sum += int64(ed.Src) + int64(ed.Dst)
+			}
+		}
+		sink = sum
+	})
+	_ = sink
+}
+
+// BenchmarkFGRDecode times the in-memory decode + validation pass alone —
+// the fixed cost LoadFGR pays on top of the mmap syscall.
+func BenchmarkFGRDecode(b *testing.B) {
+	enc := EncodeFGR(benchGraph())
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeFGR(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

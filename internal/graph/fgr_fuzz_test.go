@@ -1,0 +1,291 @@
+package graph
+
+// Fuzz wall for the .fgr decoder. FuzzLoadFGR throws arbitrary bytes at
+// DecodeFGR (the exact code path LoadFGR runs over an mmap'd file) and
+// asserts the decoder's contract: malformed input yields a *FormatError —
+// never a panic, never a read past the input — and accepted input yields a
+// graph whose full accessor surface is safe to walk and which re-encodes
+// canonically. The corruption table doubles as deterministic regression
+// coverage and as the generator for the checked-in corpus under
+// testdata/fuzz/FuzzLoadFGR (regenerate with FGR_WRITE_CORPUS=1).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeedGraph is a small fixed graph exercising every section kind:
+// multi-labels, parallel edges, unlabeled edges, keywords, and a dictionary.
+func fuzzSeedGraph() *Graph {
+	b := NewBuilder("fuzz-seed")
+	b.AddVertex(Label(0), Label(1))
+	b.AddVertex(Label(1))
+	b.AddVertex(Label(2))
+	b.AddVertex(Label(0))
+	b.MustAddEdge(0, 1, Label(0))
+	b.MustAddEdge(0, 1, Label(1)) // parallel edge, distinct label
+	b.MustAddEdge(1, 2)
+	b.MustAddEdge(2, 3, Label(2))
+	b.MustAddEdge(0, 3)
+	b.SetVertexKeywords(0, b.Dict().Intern("alpha"))
+	b.SetEdgeKeywords(0, b.Dict().Intern("beta"))
+	return b.Build()
+}
+
+// findSection locates a section's table row and payload in enc, or fails t.
+func findSection(t *testing.T, enc []byte, id uint32) (row, off, n int64) {
+	t.Helper()
+	nsec := int64(binary.LittleEndian.Uint32(enc[12:]))
+	for i := int64(0); i < nsec; i++ {
+		row = fgrHeaderSize + i*fgrSectionSize
+		if binary.LittleEndian.Uint32(enc[row:]) == id {
+			off = int64(binary.LittleEndian.Uint64(enc[row+8:]))
+			n = int64(binary.LittleEndian.Uint64(enc[row+16:]))
+			return row, off, n
+		}
+	}
+	t.Fatalf("section %d not present in encoding", id)
+	return 0, 0, 0
+}
+
+// mutateSection returns a copy of enc with f applied to section id's payload
+// and the section's checksum recomputed, so the corruption under test is
+// reached instead of masked by the CRC check.
+func mutateSection(t *testing.T, enc []byte, id uint32, f func(payload []byte)) []byte {
+	t.Helper()
+	out := bytes.Clone(enc)
+	row, off, n := findSection(t, out, id)
+	f(out[off : off+n])
+	binary.LittleEndian.PutUint32(out[row+4:], crc32.ChecksumIEEE(out[off:off+n]))
+	return out
+}
+
+// putWord overwrites little-endian word i of a payload.
+func putWord(payload []byte, i int, v int32) {
+	binary.LittleEndian.PutUint32(payload[4*i:], uint32(v))
+}
+
+type fgrCorruption struct {
+	name        string
+	data        []byte
+	wantSection string
+}
+
+// fgrCorruptions builds one malformed input per decoder defense. Each entry
+// must decode to a *FormatError naming the expected section.
+func fgrCorruptions(t *testing.T) []fgrCorruption {
+	t.Helper()
+	enc := EncodeFGR(fuzzSeedGraph())
+
+	truncated := bytes.Clone(enc[:37])
+
+	badMagic := bytes.Clone(enc)
+	badMagic[0] = 'X'
+
+	badVersion := bytes.Clone(enc)
+	binary.LittleEndian.PutUint32(badVersion[4:], 99)
+
+	badFlags := bytes.Clone(enc)
+	binary.LittleEndian.PutUint32(badFlags[8:], 0xf0)
+
+	sizeMismatch := append(bytes.Clone(enc), 0)
+
+	implausibleV := bytes.Clone(enc)
+	binary.LittleEndian.PutUint64(implausibleV[16:], 1<<40)
+
+	// Corrupt section offset: point the first table row past end of file.
+	badOffset := bytes.Clone(enc)
+	row, _, _ := findSection(t, badOffset, secAdjOff)
+	binary.LittleEndian.PutUint64(badOffset[row+8:], uint64(len(enc)+8))
+
+	// Non-ascending section ids: swap the first two table rows.
+	swapped := bytes.Clone(enc)
+	a := fgrHeaderSize
+	b := fgrHeaderSize + fgrSectionSize
+	tmp := bytes.Clone(swapped[a:b])
+	copy(swapped[a:b], swapped[b:b+fgrSectionSize])
+	copy(swapped[b:b+fgrSectionSize], tmp)
+
+	// Bad checksum: flip a payload byte without fixing the table CRC.
+	badCRC := bytes.Clone(enc)
+	_, off, _ := findSection(t, badCRC, secAdjV)
+	badCRC[off] ^= 0xff
+
+	// Out-of-range neighbor id (CRC fixed so the range check is reached).
+	badNeighbor := mutateSection(t, enc, secAdjV, func(p []byte) {
+		putWord(p, 0, 1<<30)
+	})
+
+	// Out-of-range incident edge id.
+	badEdgeID := mutateSection(t, enc, secAdjE, func(p []byte) {
+		putWord(p, 0, 1<<30)
+	})
+
+	// Decreasing adjacency offsets.
+	badAdjOff := mutateSection(t, enc, secAdjOff, func(p []byte) {
+		putWord(p, 1, -1)
+	})
+
+	// Edge endpoints out of canonical src < dst order.
+	badEndpoints := mutateSection(t, enc, secESrc, func(p []byte) {
+		putWord(p, 0, 3)
+	})
+
+	// Unsorted vertex-label run (vertex 0 has labels {0,1}; make it {1,1}).
+	badVLab := mutateSection(t, enc, secVLab, func(p []byte) {
+		putWord(p, 0, 1)
+	})
+
+	// Dictionary string count larger than the section.
+	badDict := mutateSection(t, enc, secDict, func(p []byte) {
+		p[0] = 0x7f // uvarint 127 strings in a tiny section
+	})
+
+	return []fgrCorruption{
+		{"truncated-header", truncated, "header"},
+		{"bad-magic", badMagic, "header"},
+		{"bad-version", badVersion, "header"},
+		{"unknown-flags", badFlags, "header"},
+		{"file-size-mismatch", sizeMismatch, "header"},
+		{"implausible-num-vertices", implausibleV, "header"},
+		{"section-offset-past-eof", badOffset, "adjOff"},
+		{"non-ascending-sections", swapped, "adjOff"},
+		{"bad-checksum", badCRC, "adjV"},
+		{"out-of-range-neighbor", badNeighbor, "adjV"},
+		{"out-of-range-edge-id", badEdgeID, "adjV"},
+		{"decreasing-adj-offsets", badAdjOff, "adjOff"},
+		{"unordered-endpoints", badEndpoints, "esrc"},
+		{"unsorted-label-run", badVLab, "vlab"},
+		{"oversized-dict-count", badDict, "dict"},
+	}
+}
+
+// TestFGRCorruptions runs the corruption table deterministically: every
+// entry must yield a typed *FormatError naming the right section.
+func TestFGRCorruptions(t *testing.T) {
+	for _, c := range fgrCorruptions(t) {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := DecodeFGR(c.data)
+			if err == nil {
+				t.Fatalf("decode accepted corrupt input (graph %v)", g)
+			}
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode returned %T (%v), want *FormatError", err, err)
+			}
+			if fe.Section != c.wantSection {
+				t.Fatalf("error names section %q, want %q: %v", fe.Section, c.wantSection, err)
+			}
+		})
+	}
+}
+
+// TestFGRCorruptionsThroughLoader runs a sample of the table through the
+// mmap loader: the typed error must surface with the path attached and the
+// mapping must be released (no panic, no leak detectable by the test).
+func TestFGRCorruptionsThroughLoader(t *testing.T) {
+	dir := t.TempDir()
+	for _, c := range fgrCorruptions(t) {
+		path := filepath.Join(dir, c.name+".fgr")
+		if err := os.WriteFile(path, c.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadFGR(path)
+		var fe *FormatError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: LoadFGR returned %T (%v), want *FormatError", c.name, err, err)
+		}
+		if fe.Path != path {
+			t.Fatalf("%s: error path %q, want %q", c.name, fe.Path, path)
+		}
+	}
+}
+
+// FuzzLoadFGR is the decoder fuzz target. Seeds cover valid encodings of
+// every recipe; the checked-in corpus adds the corruption table.
+func FuzzLoadFGR(f *testing.F) {
+	f.Add(EncodeFGR(fuzzSeedGraph()))
+	f.Add(EncodeFGR(NewBuilder("empty").Build()))
+	for _, rec := range oracleRecipes {
+		f.Add(EncodeFGR(rec.build(rand.New(rand.NewSource(1))).Build()))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeFGR(data)
+		if err != nil {
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("decode returned %T (%v), want *FormatError", err, err)
+			}
+			if fe.Section == "" || fe.Msg == "" {
+				t.Fatalf("FormatError missing section or message: %#v", fe)
+			}
+			return
+		}
+		// Accepted input: the whole accessor surface must be walkable
+		// without panicking or reading outside the validated arrays.
+		for v := 0; v < g.NumVertices(); v++ {
+			id := VertexID(v)
+			_ = g.VertexLabels(id)
+			_ = g.VertexLabel(id)
+			_ = g.VertexKeywords(id)
+			for i, w := range g.Neighbors(id) {
+				_ = g.IncidentEdges(id)[i]
+				_ = g.HasEdge(id, w)
+			}
+		}
+		for e := 0; e < g.NumEdges(); e++ {
+			id := EdgeID(e)
+			edge := g.EdgeByID(id)
+			_ = g.EdgeLabel(id)
+			_ = g.EdgeKeywords(id)
+			_ = g.EdgesBetween(edge.Src, edge.Dst, nil)
+		}
+		_ = g.Stats()
+		// And it must re-encode canonically: encode → decode → encode is a
+		// fixed point even when the accepted input itself was not canonical.
+		re := EncodeFGR(g)
+		g2, err := DecodeFGR(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input fails to decode: %v", err)
+		}
+		if !bytes.Equal(EncodeFGR(g2), re) {
+			t.Fatal("re-encoding is not a fixed point")
+		}
+	})
+}
+
+// TestFGRWriteFuzzCorpus regenerates the checked-in fuzz corpus when run
+// with FGR_WRITE_CORPUS=1; by default it only verifies the corpus exists.
+func TestFGRWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadFGR")
+	entries := map[string][]byte{
+		"seed-valid": EncodeFGR(fuzzSeedGraph()),
+		"seed-empty": EncodeFGR(NewBuilder("empty").Build()),
+	}
+	for _, c := range fgrCorruptions(t) {
+		entries["seed-"+c.name] = c.data
+	}
+	if os.Getenv("FGR_WRITE_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range entries {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name := range entries {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("corpus entry missing (regenerate with FGR_WRITE_CORPUS=1): %v", err)
+		}
+	}
+}

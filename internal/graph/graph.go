@@ -1,9 +1,12 @@
 // Package graph implements the labeled undirected multigraph model from
 // Section 2.1 of the Fractal paper (SIGMOD 2019): vertices and edges carry
 // label sets, edges are undirected, self-loops are forbidden. The in-memory
-// representation is a CSR (compressed sparse row) adjacency indexed both by
-// neighbor vertex and by edge identifier, which is what the subgraph
-// enumerators consume.
+// representation is a flat CSR (compressed sparse row) core — offset arrays
+// plus packed, sorted payload arrays, with adjacency indexed both by
+// neighbor vertex and by edge identifier — which the subgraph enumerators
+// consume zero-copy. The same arrays have an on-disk form (the .fgr format,
+// fgr.go) that loads via mmap so multiple worker processes share one
+// physical copy.
 package graph
 
 import (
@@ -51,32 +54,63 @@ func (e Edge) Other(v VertexID) VertexID {
 func (e Edge) Has(v VertexID) bool { return v == e.Src || v == e.Dst }
 
 // Graph is an immutable labeled undirected multigraph. Build one with a
-// Builder; a built Graph is safe for concurrent readers.
+// Builder or load one from a .fgr file (LoadFGR); a built Graph is safe for
+// concurrent readers.
+//
+// Every field is a flat array: per-element variable-length data (label sets,
+// keyword sets, adjacency runs) lives in one packed payload array addressed
+// through an offsets array of length count+1. There are no per-vertex or
+// per-edge slice headers and no maps, so a Graph loaded from a .fgr file can
+// alias the file mapping directly — see the ownership rules in DESIGN.md §13.
+// Accessors return subslices of the packed arrays; callers must never mutate
+// them (for a mapped graph the memory may be read-only, so mutation faults).
 type Graph struct {
-	name string
-
-	vlabels  [][]Label // per-vertex label set (sorted)
-	edges    []Edge
-	adjOff   []int32    // CSR offsets, len = NumVertices+1
-	adjV     []VertexID // neighbor endpoint for each incidence
-	adjE     []EdgeID   // edge id for each incidence
+	name     string
 	dict     *Dictionary
 	numLabel int
 
-	// Keyword attributes (Wikidata-style): sorted keyword-label sets per
-	// vertex/edge, possibly nil when the graph carries no keywords.
-	vkeywords [][]Label
-	ekeywords [][]Label
+	// CSR adjacency: the incidences of vertex v are rows adjOff[v] to
+	// adjOff[v+1] of adjV (neighbor endpoint) and adjE (edge id), sorted by
+	// (neighbor, edge id) within each run.
+	adjOff []int32    // len NumVertices+1
+	adjV   []VertexID // len 2*NumEdges
+	adjE   []EdgeID   // len 2*NumEdges
+
+	// Flat edge endpoints: edge id -> (esrc[id], edst[id]), esrc[id] < edst[id].
+	esrc []VertexID
+	edst []VertexID
+
+	// Packed label sets, each run sorted and deduplicated.
+	vlabOff []int32 // len NumVertices+1
+	vlab    []Label
+	elabOff []int32 // len NumEdges+1
+	elab    []Label
+
+	// Packed keyword sets (Wikidata-style); nil offsets when the graph
+	// carries no keywords.
+	vkwOff []int32
+	vkw    []Label
+	ekwOff []int32
+	ekw    []Label
+
+	// unmap releases the file mapping the arrays alias, non-nil only for
+	// graphs loaded with LoadFGR.
+	unmap func() error
 }
 
 // Name returns the dataset name given at build time (may be empty).
 func (g *Graph) Name() string { return g.name }
 
 // NumVertices returns |V(G)|.
-func (g *Graph) NumVertices() int { return len(g.vlabels) }
+func (g *Graph) NumVertices() int {
+	if len(g.vlabOff) == 0 {
+		return 0
+	}
+	return len(g.vlabOff) - 1
+}
 
 // NumEdges returns |E(G)|.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.esrc) }
 
 // NumLabels returns the number of distinct labels used by vertices and edges.
 func (g *Graph) NumLabels() int { return g.numLabel }
@@ -93,26 +127,50 @@ func (g *Graph) Density() float64 {
 // Dict returns the label dictionary, never nil.
 func (g *Graph) Dict() *Dictionary { return g.dict }
 
+// span returns the i-th run of a packed label array, nil when empty.
+// Unsigned indexing as in Neighbors: validated offsets are never negative,
+// so the signed lower-bound checks are dead weight.
+func span(packed []Label, off []int32, i int32) []Label {
+	j := uint(i)
+	lo, hi := uint32(off[j]), uint32(off[j+1])
+	if lo == hi {
+		return nil
+	}
+	return packed[lo:hi:hi]
+}
+
 // VertexLabels returns the sorted label set of v. Callers must not mutate it.
-func (g *Graph) VertexLabels(v VertexID) []Label { return g.vlabels[v] }
+func (g *Graph) VertexLabels(v VertexID) []Label { return span(g.vlab, g.vlabOff, int32(v)) }
 
 // VertexLabel returns the first label of v, or -1 if v is unlabeled. Most
 // kernels in the paper use single-labeled (-SL) graphs, where this is the
 // label.
 func (g *Graph) VertexLabel(v VertexID) Label {
-	if ls := g.vlabels[v]; len(ls) > 0 {
-		return ls[0]
+	i := uint(v)
+	if lo, hi := g.vlabOff[i], g.vlabOff[i+1]; lo < hi {
+		return g.vlab[uint32(lo)]
 	}
 	return -1
 }
 
-// EdgeByID returns the edge with identifier id.
-func (g *Graph) EdgeByID(id EdgeID) Edge { return g.edges[id] }
+// EdgeByID returns the edge with identifier id. The Labels field aliases
+// packed storage and must not be mutated.
+func (g *Graph) EdgeByID(id EdgeID) Edge {
+	return Edge{Src: g.esrc[id], Dst: g.edst[id], Labels: span(g.elab, g.elabOff, int32(id))}
+}
+
+// EdgeEndpoints returns the two endpoints of edge id with src < dst. It is
+// the label-free form of EdgeByID for hot paths that only need endpoints —
+// two array reads, no slice header construction.
+func (g *Graph) EdgeEndpoints(id EdgeID) (src, dst VertexID) {
+	return g.esrc[id], g.edst[id]
+}
 
 // EdgeLabel returns the first label of edge id, or -1 if unlabeled.
 func (g *Graph) EdgeLabel(id EdgeID) Label {
-	if ls := g.edges[id].Labels; len(ls) > 0 {
-		return ls[0]
+	i := uint(id)
+	if lo, hi := g.elabOff[i], g.elabOff[i+1]; lo < hi {
+		return g.elab[uint32(lo)]
 	}
 	return -1
 }
@@ -124,14 +182,19 @@ func (g *Graph) Degree(v VertexID) int {
 
 // Neighbors returns the neighbor endpoints of v, sorted ascending. The
 // returned slice aliases internal storage and must not be mutated.
+// Offsets index as uint: a negative v wraps to a huge index and panics on
+// the same bounds check, but the compiler drops the signed lower-bound
+// tests from this hot path (validated offsets are never negative).
 func (g *Graph) Neighbors(v VertexID) []VertexID {
-	return g.adjV[g.adjOff[v]:g.adjOff[v+1]]
+	i := uint(v)
+	return g.adjV[uint32(g.adjOff[i]):uint32(g.adjOff[i+1])]
 }
 
 // IncidentEdges returns the edge IDs incident to v, ordered to correspond
 // with Neighbors(v). The returned slice must not be mutated.
 func (g *Graph) IncidentEdges(v VertexID) []EdgeID {
-	return g.adjE[g.adjOff[v]:g.adjOff[v+1]]
+	i := uint(v)
+	return g.adjE[uint32(g.adjOff[i]):uint32(g.adjOff[i+1])]
 }
 
 // HasEdge reports whether u and v are adjacent (by any edge).
@@ -178,22 +241,39 @@ func (g *Graph) EdgesBetween(u, v VertexID, dst []EdgeID) []EdgeID {
 
 // VertexKeywords returns the keyword set of v (sorted), or nil.
 func (g *Graph) VertexKeywords(v VertexID) []Label {
-	if g.vkeywords == nil {
+	if g.vkwOff == nil {
 		return nil
 	}
-	return g.vkeywords[v]
+	return span(g.vkw, g.vkwOff, int32(v))
 }
 
 // EdgeKeywords returns the keyword set of edge id (sorted), or nil.
 func (g *Graph) EdgeKeywords(id EdgeID) []Label {
-	if g.ekeywords == nil {
+	if g.ekwOff == nil {
 		return nil
 	}
-	return g.ekeywords[id]
+	return span(g.ekw, g.ekwOff, int32(id))
 }
 
 // HasKeywords reports whether the graph carries keyword attributes.
-func (g *Graph) HasKeywords() bool { return g.vkeywords != nil || g.ekeywords != nil }
+func (g *Graph) HasKeywords() bool { return g.vkwOff != nil || g.ekwOff != nil }
+
+// Mapped reports whether the graph's arrays alias a file mapping (LoadFGR).
+func (g *Graph) Mapped() bool { return g.unmap != nil }
+
+// Close releases the file mapping backing a graph loaded with LoadFGR; it is
+// a no-op for graphs built in memory. After Close every accessor of a mapped
+// graph is invalid — callers own the ordering between last use and Close.
+// Close is not safe to call concurrently with readers, and not idempotent
+// protection is provided beyond the nil check of a second call.
+func (g *Graph) Close() error {
+	if g.unmap == nil {
+		return nil
+	}
+	u := g.unmap
+	g.unmap = nil
+	return u()
+}
 
 // String implements fmt.Stringer with a short summary.
 func (g *Graph) String() string {
@@ -212,19 +292,11 @@ type Stats struct {
 // Stats returns the Table 1 summary of g.
 func (g *Graph) Stats() Stats {
 	kw := map[Label]struct{}{}
-	if g.vkeywords != nil {
-		for _, ks := range g.vkeywords {
-			for _, k := range ks {
-				kw[k] = struct{}{}
-			}
-		}
+	for _, k := range g.vkw {
+		kw[k] = struct{}{}
 	}
-	if g.ekeywords != nil {
-		for _, ks := range g.ekeywords {
-			for _, k := range ks {
-				kw[k] = struct{}{}
-			}
-		}
+	for _, k := range g.ekw {
+		kw[k] = struct{}{}
 	}
 	return Stats{
 		Name:     g.name,

@@ -137,9 +137,14 @@ func LoadEdgeList(r io.Reader, name string) (*Graph, error) {
 }
 
 // LoadFile loads a graph from path, choosing the format by extension:
-// ".graph" adjacency list, ".el" edge list. A sidecar "<path>.kw" with
-// keyword attributes is applied when present.
+// ".graph" adjacency list, ".el" edge list, ".fgr" the binary CSR format
+// (memory-mapped; see LoadFGR). For the text formats a sidecar "<path>.kw"
+// with keyword attributes is applied when present; an .fgr file carries its
+// keywords in-format.
 func LoadFile(path string) (*Graph, error) {
+	if strings.HasSuffix(path, ".fgr") {
+		return LoadFGR(path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

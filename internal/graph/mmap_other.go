@@ -1,0 +1,19 @@
+//go:build !unix
+
+package graph
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without the unix mmap shim falls back to reading the
+// file into memory: loading still works everywhere, it just loses the
+// shared-physical-copy property.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

@@ -1,0 +1,26 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared: every process mapping
+// the same .fgr file sees one physical copy of its pages. The returned unmap
+// releases the mapping; after it runs, the bytes must not be touched.
+func mmapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size < 0 || size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("graph: cannot map %d bytes", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

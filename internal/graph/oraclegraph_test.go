@@ -1,0 +1,413 @@
+package graph
+
+// The pre-CSR graph representation — per-vertex label slices, an []Edge
+// table, and the seed Build algorithm — retained verbatim as the
+// differential oracle for the flat CSR core. seedBuild constructs it from
+// the same Builder the production Build consumes, and the tests below pin
+// the full accessor surface of the CSR graph (built in memory, decoded from
+// .fgr bytes, and loaded through the mmap path) against it over randomized
+// ER / preferential-attachment / multigraph inputs, in the style of the
+// subgraph package's oracle_test.go.
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// seedGraph is the seed's pointer-rich Graph storage.
+type seedGraph struct {
+	name      string
+	vlabels   [][]Label
+	edges     []Edge
+	adjOff    []int32
+	adjV      []VertexID
+	adjE      []EdgeID
+	vkeywords [][]Label
+	ekeywords [][]Label
+}
+
+// seedBuild is the seed Builder.Build, word for word apart from the receiver
+// type.
+func seedBuild(b *Builder) *seedGraph {
+	n := len(b.vlabels)
+	g := &seedGraph{
+		name:    b.name,
+		vlabels: append([][]Label(nil), b.vlabels...),
+		edges:   append([]Edge(nil), b.edges...),
+	}
+	deg := make([]int32, n+1)
+	for _, e := range g.edges {
+		deg[e.Src+1]++
+		deg[e.Dst+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	g.adjOff = deg
+	m := len(g.edges)
+	g.adjV = make([]VertexID, 2*m)
+	g.adjE = make([]EdgeID, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, g.adjOff[:n])
+	for id, e := range g.edges {
+		i := cursor[e.Src]
+		g.adjV[i], g.adjE[i] = e.Dst, EdgeID(id)
+		cursor[e.Src]++
+		j := cursor[e.Dst]
+		g.adjV[j], g.adjE[j] = e.Src, EdgeID(id)
+		cursor[e.Dst]++
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := g.adjOff[v], g.adjOff[v+1]
+		run := adjRun{v: g.adjV[lo:hi], e: g.adjE[lo:hi]}
+		sortAdjRun(run)
+	}
+	if b.hasKW {
+		g.vkeywords = append([][]Label(nil), b.vkeywords...)
+		g.ekeywords = append([][]Label(nil), b.ekeywords...)
+	}
+	return g
+}
+
+// sortAdjRun is the seed's sort.Sort call, kept separate so seedBuild stays
+// line-comparable with the original.
+func sortAdjRun(r adjRun) {
+	for i := 1; i < r.Len(); i++ {
+		for j := i; j > 0 && r.Less(j, j-1); j-- {
+			r.Swap(j, j-1)
+		}
+	}
+}
+
+// Seed accessors.
+
+func (g *seedGraph) numVertices() int                { return len(g.vlabels) }
+func (g *seedGraph) numEdges() int                   { return len(g.edges) }
+func (g *seedGraph) vertexLabels(v VertexID) []Label { return g.vlabels[v] }
+func (g *seedGraph) edgeByID(id EdgeID) Edge         { return g.edges[id] }
+func (g *seedGraph) degree(v VertexID) int           { return int(g.adjOff[v+1] - g.adjOff[v]) }
+func (g *seedGraph) neighbors(v VertexID) []VertexID {
+	return g.adjV[g.adjOff[v]:g.adjOff[v+1]]
+}
+func (g *seedGraph) incidentEdges(v VertexID) []EdgeID {
+	return g.adjE[g.adjOff[v]:g.adjOff[v+1]]
+}
+func (g *seedGraph) vertexKeywords(v VertexID) []Label {
+	if g.vkeywords == nil {
+		return nil
+	}
+	return g.vkeywords[v]
+}
+func (g *seedGraph) edgeKeywords(id EdgeID) []Label {
+	if g.ekeywords == nil {
+		return nil
+	}
+	return g.ekeywords[id]
+}
+
+func (g *seedGraph) edgesBetween(u, v VertexID, dst []EdgeID) []EdgeID {
+	if u == v {
+		return dst
+	}
+	if g.degree(u) > g.degree(v) {
+		u, v = v, u
+	}
+	nbu := g.neighbors(u)
+	ide := g.incidentEdges(u)
+	i := 0
+	for i < len(nbu) && nbu[i] < v {
+		i++
+	}
+	for ; i < len(nbu) && nbu[i] == v; i++ {
+		dst = append(dst, ide[i])
+	}
+	return dst
+}
+
+// Randomized builder recipes. These stay local to the package (the workload
+// generators import graph, so using them here would cycle).
+
+// randLabels draws a random label set, sometimes empty, sometimes multi.
+func randLabels(r *rand.Rand, universe int) []Label {
+	switch r.Intn(4) {
+	case 0:
+		return nil
+	case 1, 2:
+		return []Label{Label(r.Intn(universe))}
+	default:
+		k := 2 + r.Intn(3)
+		ls := make([]Label, k)
+		for i := range ls {
+			ls[i] = Label(r.Intn(universe))
+		}
+		return ls
+	}
+}
+
+// erBuilder is an Erdős–Rényi-style recipe with labels and keywords.
+func erBuilder(r *rand.Rand) *Builder {
+	b := NewBuilder("oracle-er")
+	n := 1 + r.Intn(60)
+	for i := 0; i < n; i++ {
+		b.AddVertex(randLabels(r, 5)...)
+	}
+	m := r.Intn(3 * n)
+	for i := 0; i < m; i++ {
+		u, v := VertexID(r.Intn(n)), VertexID(r.Intn(n))
+		if u == v {
+			continue
+		}
+		id := b.MustAddEdge(u, v, randLabels(r, 3)...)
+		if r.Intn(8) == 0 {
+			b.SetEdgeKeywords(id, randLabels(r, 4)...)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if r.Intn(8) == 0 {
+			b.SetVertexKeywords(VertexID(v), randLabels(r, 4)...)
+		}
+	}
+	return b
+}
+
+// baBuilder grows a preferential-attachment graph: each new vertex attaches
+// to endpoints sampled from the incidence urn.
+func baBuilder(r *rand.Rand) *Builder {
+	b := NewBuilder("oracle-ba")
+	b.AddVertex(Label(0))
+	b.AddVertex(Label(1))
+	b.MustAddEdge(0, 1)
+	var urn []VertexID
+	urn = append(urn, 0, 1)
+	n := 2 + r.Intn(50)
+	for i := 2; i < n; i++ {
+		v := b.AddVertex(Label(i % 4))
+		for d := 0; d < 1+r.Intn(3); d++ {
+			u := urn[r.Intn(len(urn))]
+			if u == v {
+				continue
+			}
+			if _, err := b.AddEdge(u, v); err == nil {
+				urn = append(urn, u, v)
+			}
+		}
+	}
+	return b
+}
+
+// multiBuilder deliberately lays parallel edges with distinct label sets.
+func multiBuilder(r *rand.Rand) *Builder {
+	b := NewBuilder("oracle-multi")
+	n := 2 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		b.AddVertex(Label(i % 3))
+	}
+	m := 1 + r.Intn(4*n)
+	for i := 0; i < m; i++ {
+		u, v := VertexID(r.Intn(n)), VertexID(r.Intn(n))
+		if u == v {
+			continue
+		}
+		dup := 1 + r.Intn(3)
+		for d := 0; d < dup; d++ {
+			b.MustAddEdge(u, v, Label(d))
+		}
+	}
+	return b
+}
+
+var oracleRecipes = []struct {
+	name  string
+	build func(r *rand.Rand) *Builder
+}{
+	{"er", erBuilder},
+	{"ba", baBuilder},
+	{"multi", multiBuilder},
+}
+
+// labelsEq treats nil and empty as equal only when both are empty — the CSR
+// accessors must preserve the seed's nil-for-empty convention exactly.
+func labelsEq(a, b []Label) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// sliceEq compares element-wise; nil and empty are interchangeable here
+// (Neighbors/IncidentEdges promise contents and order, not slice identity).
+func sliceEq[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// pinAgainstSeed compares got's full accessor surface against the seed
+// representation.
+func pinAgainstSeed(t *testing.T, want *seedGraph, got *Graph) {
+	t.Helper()
+	if got.NumVertices() != want.numVertices() {
+		t.Fatalf("NumVertices=%d, seed says %d", got.NumVertices(), want.numVertices())
+	}
+	if got.NumEdges() != want.numEdges() {
+		t.Fatalf("NumEdges=%d, seed says %d", got.NumEdges(), want.numEdges())
+	}
+	if got.Name() != want.name {
+		t.Errorf("Name=%q, seed says %q", got.Name(), want.name)
+	}
+	for v := VertexID(0); int(v) < want.numVertices(); v++ {
+		if got.Degree(v) != want.degree(v) {
+			t.Fatalf("Degree(%d)=%d, seed says %d", v, got.Degree(v), want.degree(v))
+		}
+		if !sliceEq(got.Neighbors(v), want.neighbors(v)) {
+			t.Fatalf("Neighbors(%d)=%v, seed says %v", v, got.Neighbors(v), want.neighbors(v))
+		}
+		if !sliceEq(got.IncidentEdges(v), want.incidentEdges(v)) {
+			t.Fatalf("IncidentEdges(%d)=%v, seed says %v", v, got.IncidentEdges(v), want.incidentEdges(v))
+		}
+		if !labelsEq(got.VertexLabels(v), want.vertexLabels(v)) {
+			t.Fatalf("VertexLabels(%d)=%v, seed says %v", v, got.VertexLabels(v), want.vertexLabels(v))
+		}
+		wantFirst := Label(-1)
+		if ls := want.vertexLabels(v); len(ls) > 0 {
+			wantFirst = ls[0]
+		}
+		if got.VertexLabel(v) != wantFirst {
+			t.Fatalf("VertexLabel(%d)=%d, seed says %d", v, got.VertexLabel(v), wantFirst)
+		}
+		if !labelsEq(got.VertexKeywords(v), want.vertexKeywords(v)) {
+			t.Fatalf("VertexKeywords(%d)=%v, seed says %v", v, got.VertexKeywords(v), want.vertexKeywords(v))
+		}
+	}
+	for id := EdgeID(0); int(id) < want.numEdges(); id++ {
+		se := want.edgeByID(id)
+		ge := got.EdgeByID(id)
+		if ge.Src != se.Src || ge.Dst != se.Dst || !labelsEq(ge.Labels, se.Labels) {
+			t.Fatalf("EdgeByID(%d)=%+v, seed says %+v", id, ge, se)
+		}
+		if s, d := got.EdgeEndpoints(id); s != se.Src || d != se.Dst {
+			t.Fatalf("EdgeEndpoints(%d)=(%d,%d), seed says (%d,%d)", id, s, d, se.Src, se.Dst)
+		}
+		wantFirst := Label(-1)
+		if len(se.Labels) > 0 {
+			wantFirst = se.Labels[0]
+		}
+		if got.EdgeLabel(id) != wantFirst {
+			t.Fatalf("EdgeLabel(%d)=%d, seed says %d", id, got.EdgeLabel(id), wantFirst)
+		}
+		if !labelsEq(got.EdgeKeywords(id), want.edgeKeywords(id)) {
+			t.Fatalf("EdgeKeywords(%d)=%v, seed says %v", id, got.EdgeKeywords(id), want.edgeKeywords(id))
+		}
+	}
+	// Pairwise adjacency probes (every pair: the recipes keep |V| small).
+	var wantIDs, gotIDs []EdgeID
+	for u := VertexID(0); int(u) < want.numVertices(); u++ {
+		for v := VertexID(0); int(v) < want.numVertices(); v++ {
+			wantIDs = want.edgesBetween(u, v, wantIDs[:0])
+			gotIDs = got.EdgesBetween(u, v, gotIDs[:0])
+			if !sliceEq(wantIDs, gotIDs) {
+				t.Fatalf("EdgesBetween(%d,%d)=%v, seed says %v", u, v, gotIDs, wantIDs)
+			}
+			wantOne := NilEdge
+			if len(wantIDs) > 0 {
+				wantOne = wantIDs[0]
+			}
+			if e := got.EdgeBetween(u, v); e != wantOne {
+				t.Fatalf("EdgeBetween(%d,%d)=%d, seed says %d", u, v, e, wantOne)
+			}
+			if got.HasEdge(u, v) != (len(wantIDs) > 0) {
+				t.Fatalf("HasEdge(%d,%d) disagrees with seed", u, v)
+			}
+		}
+	}
+}
+
+// TestCSRDifferentialOracle pins the CSR graph — built in memory, decoded
+// from .fgr bytes, and round-tripped through a real file and the mmap loader
+// — against the retained seed representation over randomized inputs.
+func TestCSRDifferentialOracle(t *testing.T) {
+	dir := t.TempDir()
+	for _, rec := range oracleRecipes {
+		t.Run(rec.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 12; seed++ {
+				b := rec.build(rand.New(rand.NewSource(seed)))
+				want := seedBuild(b)
+				g := b.Build()
+				pinAgainstSeed(t, want, g)
+
+				dec, err := DecodeFGR(EncodeFGR(g))
+				if err != nil {
+					t.Fatalf("seed %d: decode: %v", seed, err)
+				}
+				pinAgainstSeed(t, want, dec)
+
+				path := filepath.Join(dir, "oracle.fgr")
+				if err := SaveFGR(path, g); err != nil {
+					t.Fatalf("seed %d: save: %v", seed, err)
+				}
+				mapped, err := LoadFGR(path)
+				if err != nil {
+					t.Fatalf("seed %d: load: %v", seed, err)
+				}
+				if !mapped.Mapped() {
+					t.Fatal("LoadFGR graph does not report Mapped")
+				}
+				pinAgainstSeed(t, want, mapped)
+				if mapped.NumLabels() != g.NumLabels() {
+					t.Errorf("seed %d: mapped NumLabels=%d, want %d", seed, mapped.NumLabels(), g.NumLabels())
+				}
+				if mapped.Stats() != g.Stats() {
+					t.Errorf("seed %d: mapped Stats=%+v, want %+v", seed, mapped.Stats(), g.Stats())
+				}
+				if err := mapped.Close(); err != nil {
+					t.Fatalf("seed %d: close: %v", seed, err)
+				}
+				if err := os.Remove(path); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCSRDictionaryRoundTrip pins that interned label names survive the
+// write→mmap round trip in Label order.
+func TestCSRDictionaryRoundTrip(t *testing.T) {
+	b := NewBuilder("dict-rt")
+	d := b.Dict()
+	la, lb, lc := d.Intern("alpha"), d.Intern("beta"), d.Intern("gamma/δ")
+	v0 := b.AddVertex(la)
+	v1 := b.AddVertex(lb)
+	b.MustAddEdge(v0, v1, lc)
+	g := b.Build()
+
+	path := filepath.Join(t.TempDir(), "dict.fgr")
+	if err := SaveFGR(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFGR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if got.Dict().Len() != d.Len() {
+		t.Fatalf("dict Len=%d, want %d", got.Dict().Len(), d.Len())
+	}
+	for l := 0; l < d.Len(); l++ {
+		if got.Dict().Name(Label(l)) != d.Name(Label(l)) {
+			t.Errorf("dict[%d]=%q, want %q", l, got.Dict().Name(Label(l)), d.Name(Label(l)))
+		}
+	}
+	if l, ok := got.Dict().Lookup("gamma/δ"); !ok || l != lc {
+		t.Errorf("Lookup(gamma/δ)=(%d,%v), want (%d,true)", l, ok, lc)
+	}
+}

@@ -391,6 +391,15 @@ func (r *Runtime) runJob(ctx context.Context, jobID int, job Job) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	for i, s := range steps {
+		// A step that visits or aggregates but never extends has nothing to
+		// enumerate: the DFS engine assumes at least one extension level per
+		// executed step (effect-free depth-0 steps are skipped below).
+		if !r.effectFree(s) && s.Depth() == 0 {
+			return nil, fmt.Errorf("sched: step %d (%s) has output primitives but no extension; add Expand(n) before them",
+				i, step.Workflow(s.Primitives))
+		}
+	}
 
 	var tracer *metrics.Tracer
 	if r.cfg.Trace {

@@ -29,7 +29,10 @@ type JobSpec struct {
 	App string
 	// Graph is the path of the input graph, loaded (and cached) by every
 	// participant. The file must be readable at the same path on every
-	// machine — shipped graphs are out of scope here.
+	// machine — shipped graphs are out of scope here. A ".fgr" path names a
+	// prebuilt binary graph (see graph.SaveFGR): participants memory-map it
+	// instead of parsing, and co-located worker processes share one physical
+	// copy of the CSR arrays.
 	Graph string
 	// Args parameterizes the app (e.g. {"k": "4"}). Encoded sorted by key.
 	Args map[string]string

@@ -1,0 +1,96 @@
+package subgraph
+
+// Differential pins for the .fgr storage path: the extension kernels must
+// produce identical Extensions traces whether the graph's CSR arrays were
+// built in memory, decoded from .fgr bytes, or mapped from an .fgr file —
+// the storage layer must be invisible to enumeration.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/workload"
+)
+
+// fgrForms returns the same graph in its three storage forms: built,
+// decoded from bytes, and mmap-loaded from a file.
+func fgrForms(t *testing.T, g *graph.Graph) map[string]*graph.Graph {
+	t.Helper()
+	dec, err := graph.DecodeFGR(graph.EncodeFGR(g))
+	if err != nil {
+		t.Fatalf("decode %s: %v", g.Name(), err)
+	}
+	path := filepath.Join(t.TempDir(), g.Name()+".fgr")
+	if err := graph.SaveFGR(path, g); err != nil {
+		t.Fatalf("save %s: %v", g.Name(), err)
+	}
+	mapped, err := graph.LoadFGR(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", g.Name(), err)
+	}
+	t.Cleanup(func() { mapped.Close() })
+	return map[string]*graph.Graph{"decoded": dec, "mapped": mapped}
+}
+
+// traceAll walks the full enumeration tree from every valid root through the
+// production kernels and records the Extensions trace.
+func traceAll(e *Embedding, maxDepth int) []string {
+	var trace []string
+	for w := 0; w < e.InitialDomain(); w++ {
+		if !e.ValidInitial(Word(w)) {
+			continue
+		}
+		e.Reset()
+		e.Push(Word(w))
+		trace = enumerateTrace(e, kernelExt, maxDepth, trace)
+	}
+	return trace
+}
+
+// TestFGRTraceEquality pins Extensions traces across the storage forms for
+// all three embedding kinds and the oracle pattern plans.
+func TestFGRTraceEquality(t *testing.T) {
+	for _, built := range []*graph.Graph{
+		workload.ErdosRenyi("fgr-trace-er", 40, 120, 2, 17),
+		oracleMultigraph("fgr-trace-mg", 30, 90, 3, 18),
+	} {
+		plans := oraclePlans(t)
+		type kindCase struct {
+			label    string
+			maxDepth int
+			embed    func(g *graph.Graph) *Embedding
+		}
+		cases := []kindCase{
+			{"vertex", 4, func(g *graph.Graph) *Embedding { return New(g, VertexInduced, nil) }},
+			{"edge", 3, func(g *graph.Graph) *Embedding { return New(g, EdgeInduced, nil) }},
+		}
+		for i, pl := range plans {
+			pl := pl
+			cases = append(cases, kindCase{
+				label:    "plan-" + string(rune('a'+i)),
+				maxDepth: len(pl.Order),
+				embed:    func(g *graph.Graph) *Embedding { return New(g, PatternInduced, pl) },
+			})
+		}
+		for _, kc := range cases {
+			want := traceAll(kc.embed(built), kc.maxDepth)
+			if len(want) == 0 {
+				t.Fatalf("%s %s: empty built-graph trace", built.Name(), kc.label)
+			}
+			for form, g := range fgrForms(t, built) {
+				got := traceAll(kc.embed(g), kc.maxDepth)
+				if len(got) != len(want) {
+					t.Fatalf("%s %s [%s]: trace has %d nodes, built graph has %d",
+						built.Name(), kc.label, form, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s %s [%s]: trace diverges at node %d: %q vs %q",
+							built.Name(), kc.label, form, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}

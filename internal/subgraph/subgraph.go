@@ -262,18 +262,18 @@ func (e *Embedding) pushVertex(v graph.VertexID) {
 }
 
 func (e *Embedding) pushEdge(id graph.EdgeID) {
-	ed := e.g.EdgeByID(id)
+	src, dst := e.g.EdgeEndpoints(id)
 	e.edges = append(e.edges, id)
 	e.edgesAt = append(e.edgesAt, 1)
 	nc := 0
-	if !e.hasVertex(ed.Src) {
-		e.cover = append(e.cover, ed.Src)
-		e.vertices = append(e.vertices, ed.Src)
+	if !e.hasVertex(src) {
+		e.cover = append(e.cover, src)
+		e.vertices = append(e.vertices, src)
 		nc++
 	}
-	if !e.hasVertex(ed.Dst) {
-		e.cover = append(e.cover, ed.Dst)
-		e.vertices = append(e.vertices, ed.Dst)
+	if !e.hasVertex(dst) {
+		e.cover = append(e.cover, dst)
+		e.vertices = append(e.vertices, dst)
 		nc++
 	}
 	e.coverAt = append(e.coverAt, nc)
@@ -449,14 +449,14 @@ func (e *Embedding) edgeExtensions(dst []Word) ([]Word, int) {
 	for i := 0; i < len(e.words); i++ {
 		id := graph.EdgeID(e.words[i])
 		e.stampE[id] = gen
-		ed := e.g.EdgeByID(id)
-		if e.stampV[ed.Src] != gen {
-			e.stampV[ed.Src] = gen
-			e.vfirst[ed.Src] = int32(i)
+		src, dst := e.g.EdgeEndpoints(id)
+		if e.stampV[src] != gen {
+			e.stampV[src] = gen
+			e.vfirst[src] = int32(i)
 		}
-		if e.stampV[ed.Dst] != gen {
-			e.stampV[ed.Dst] = gen
-			e.vfirst[ed.Dst] = int32(i)
+		if e.stampV[dst] != gen {
+			e.stampV[dst] = gen
+			e.vfirst[dst] = int32(i)
 		}
 	}
 	e.candList = e.candList[:0]
@@ -468,13 +468,13 @@ func (e *Embedding) edgeExtensions(dst []Word) ([]Word, int) {
 				continue
 			}
 			e.stampE[id] = gen
-			x := e.g.EdgeByID(id)
+			xs, xd := e.g.EdgeEndpoints(id)
 			f := int32(len(e.words))
-			if e.stampV[x.Src] == gen && e.vfirst[x.Src] < f {
-				f = e.vfirst[x.Src]
+			if e.stampV[xs] == gen && e.vfirst[xs] < f {
+				f = e.vfirst[xs]
 			}
-			if e.stampV[x.Dst] == gen && e.vfirst[x.Dst] < f {
-				f = e.vfirst[x.Dst]
+			if e.stampV[xd] == gen && e.vfirst[xd] < f {
+				f = e.vfirst[xd]
 			}
 			e.candList = append(e.candList, Word(id))
 			e.candFirst = append(e.candFirst, f)

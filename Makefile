@@ -1,4 +1,4 @@
-.PHONY: check check-race check-dist chaos test build vet bench bench-micro bench-agg bench-plan bench-graph fuzz-agg fuzz-plan fuzz-graph
+.PHONY: check check-race check-dist chaos test build vet bench bench-micro bench-agg bench-plan bench-decomp bench-graph fuzz-agg fuzz-plan fuzz-decomp fuzz-graph
 
 check:
 	./scripts/check.sh
@@ -56,12 +56,20 @@ bench-plan:
 	go test -run=NONE -bench='MotifsPlan|MotifsCanon|CliquesPlan|CliquesCanon' \
 		-benchtime=$(BENCHTIME) -benchmem ./internal/apps/
 
+# Decomposition engine against the pure plan fleet: k=4/k=5 motif counting
+# end to end, plus the auto-selecting entry point (EXPERIMENTS.md §14). CI
+# runs this with BENCHTIME=1x as a smoke test.
+bench-decomp:
+	go test -run=NONE -bench='MotifsDecomp|MotifsAuto|MotifsPlan' \
+		-benchtime=$(BENCHTIME) -benchmem ./internal/apps/
+
 # CSR + .fgr storage microbenchmarks: mmap load vs edge-list parse (with
 # live-heap deltas), neighbor-scan throughput of the packed CSR arrays vs
-# per-vertex slices, and the decode/validation pass (EXPERIMENTS.md). CI
+# per-vertex slices, the decode/validation pass, and the packed label-span
+# accessors (AttributeScan pins the stride-1 fast path; EXPERIMENTS.md). CI
 # runs this with BENCHTIME=1x as a smoke test.
 bench-graph:
-	go test -run=NONE -bench='FGRLoad|NeighborScan|FGRDecode' \
+	go test -run=NONE -bench='FGRLoad|NeighborScan|FGRDecode|AttributeScan' \
 		-benchtime=$(BENCHTIME) -benchmem ./internal/graph/
 
 # Short fuzz of the aggregation wire codec (decoders must fail cleanly on
@@ -78,3 +86,8 @@ fuzz-graph:
 # compile to a total, restriction-consistent plan).
 fuzz-plan:
 	go test -run=NONE -fuzz=FuzzPlanCompile -fuzztime=10s ./internal/pattern/
+
+# Short fuzz of the decomposition rule search (total, deterministic, every
+# term bound to a generated core subpattern).
+fuzz-decomp:
+	go test -run=NONE -fuzz=FuzzDecompose -fuzztime=10s ./internal/pattern/

@@ -10,7 +10,7 @@
 //	cliques   -k <vertices> [-kclist]
 //	triangles
 //	fsm       -support <min> [-maxedges <n>] [-reduce]
-//	query     -pattern <triangle|square|diamond|clique4|clique5|house|prism|doublesquare>
+//	query     -pattern <triangle|square|diamond|clique4|clique5|path3|path4|star4|star5|bowtie|house|prism|doublesquare>
 //	keywords  -keywords <comma,separated> [-reduce]
 //
 // Runtime flags: -workers, -cores, -ws (none|internal|external|both), -tcp.
@@ -34,12 +34,19 @@
 //
 // Plan flags:
 //
-//	-engine <plan|canon>  motifs/cliques execution engine: compiled
-//	                      symmetry-broken pattern plans (default) or the
-//	                      canonical-check enumeration path
+//	-engine <auto|plan|canon|decomp>
+//	                      motifs/query execution engine: auto (default;
+//	                      the cost model picks between enumeration and
+//	                      pattern decomposition), plan (compiled
+//	                      symmetry-broken pattern plans only), canon (the
+//	                      canonical-check enumeration path), or decomp
+//	                      (force the decomposition sweep; errors where no
+//	                      rule applies). cliques honours plan/canon.
 //	-explain              print the compiled plan(s) for the selected app
 //	                      (motifs, cliques, triangles, query) and exit
-//	                      without loading a graph
+//	                      without loading a graph; under auto/decomp this
+//	                      includes decomposition polynomials and the
+//	                      selection reason
 //
 // Observability flags:
 //
@@ -98,7 +105,7 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write the run's metrics snapshot (RunReport JSON) to this file")
 		traceOn    = flag.Bool("trace", false, "record the structured trace journal (exported via -metrics-out)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
-		engine     = flag.String("engine", "plan", "motifs/cliques engine: plan (compiled pattern plans) or canon (canonical checks)")
+		engine     = flag.String("engine", "auto", "motifs/query engine: auto (cost-model selection), plan (compiled pattern plans), canon (canonical checks), or decomp (forced decomposition)")
 		explain    = flag.Bool("explain", false, "print the compiled plan(s) for the selected app and exit (no graph needed)")
 		retries    = flag.Int("retries", 0, "re-execute a step up to n times after a worker loss (0: a loss fails the run)")
 		retryWait  = flag.Duration("retry-backoff", 0, "pause between step retry attempts (default 5ms)")
@@ -106,8 +113,10 @@ func main() {
 		minWorkers = flag.Int("min-workers", 0, "wait for this many worker registrations before starting (-listen)")
 	)
 	flag.Parse()
-	if *engine != "plan" && *engine != "canon" {
-		fatal(fmt.Errorf("unknown -engine %q (want plan or canon)", *engine))
+	switch *engine {
+	case "auto", "plan", "canon", "decomp":
+	default:
+		fatal(fmt.Errorf("unknown -engine %q (want auto, plan, canon, or decomp)", *engine))
 	}
 	// Reject silently-wrong runtime shapes up front, with flag-level messages
 	// (the library rejects them too, as ConfigError).
@@ -131,7 +140,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		check(explainApp(*app, *k, *queryName))
+		check(explainApp(*app, *k, *queryName, *engine))
 		return
 	}
 	if *convertOut != "" {
@@ -199,9 +208,14 @@ func main() {
 	var last *fractal.Result
 	switch *app {
 	case "motifs":
-		runMotifs := apps.Motifs
-		if *engine == "canon" {
+		runMotifs := apps.Motifs // auto: cost-model fleet selection
+		switch *engine {
+		case "plan":
+			runMotifs = apps.MotifsPlan
+		case "canon":
 			runMotifs = apps.MotifsCanon
+		case "decomp":
+			runMotifs = apps.MotifsDecomp
 		}
 		m, res, err := runMotifs(ctx, g, *k)
 		check(err)
@@ -242,10 +256,31 @@ func main() {
 	case "query":
 		p, err := patternByName(*queryName)
 		check(err)
-		n, res, err := apps.Query(ctx, g, p)
+		var n int64
+		var res *fractal.Result
+		used := "plan"
+		switch *engine {
+		case "decomp":
+			dp, derr := fractal.CompileDecomp(p)
+			check(derr)
+			n, res, err = g.DecompCount(dp)
+			used = "decomp"
+		case "auto":
+			ch, cerr := fractal.ChooseEngine(p)
+			check(cerr)
+			_, _, uniform := g.Raw().UniformLabels()
+			if ch.UseDecomp && uniform {
+				n, res, err = g.DecompCount(ch.Decomp)
+				used = "decomp"
+			} else {
+				n, res, err = apps.Query(ctx, g, p)
+			}
+		default: // plan, canon: the compiled-plan matcher
+			n, res, err = apps.Query(ctx, g, p)
+		}
 		check(err)
 		last = res
-		fmt.Printf("matches of %s: %d (EC=%d, %s)\n", *queryName, n, res.TotalEC(), res.Wall)
+		fmt.Printf("matches of %s [%s engine]: %d (EC=%d, %s)\n", *queryName, used, n, res.TotalEC(), res.Wall)
 	case "keywords":
 		if *keywords == "" {
 			fatal(fmt.Errorf("-keywords required"))
@@ -332,13 +367,32 @@ func writeMetrics(path string, res *fractal.Result) error {
 }
 
 // explainApp compiles the plan(s) the selected application would execute and
-// prints their Explain reports without loading a graph.
-func explainApp(app string, k int, queryName string) error {
+// prints their Explain reports without loading a graph. Under -engine=auto
+// or -engine=decomp it also prints the decomposition polynomials and the
+// cost model's selection reason (assuming a uniform-labeled graph — the
+// auto path re-checks labels at run time and falls back to enumeration).
+func explainApp(app string, k int, queryName, engine string) error {
 	switch app {
 	case "motifs":
 		pats, err := pattern.ConnectedPatterns(k)
 		if err != nil {
 			return err
+		}
+		if engine == "auto" || engine == "decomp" {
+			fmt.Printf("%d-vertex motifs: %d patterns\n", k, len(pats))
+			fmt.Printf("selection: %s\n\n", apps.MotifsFleetReason(nil, k))
+			for _, p := range pats {
+				if dp, err := fractal.CompileDecomp(p); err == nil {
+					fmt.Println(dp.Explain())
+					continue
+				}
+				pl, err := fractal.CompileInducedPlan(p)
+				if err != nil {
+					return err
+				}
+				fmt.Println(pl.Explain())
+			}
+			return nil
 		}
 		fmt.Printf("%d-vertex motifs: %d pattern plans\n\n", k, len(pats))
 		for _, p := range pats {
@@ -364,6 +418,27 @@ func explainApp(app string, k int, queryName string) error {
 		if err != nil {
 			return err
 		}
+		switch engine {
+		case "decomp":
+			dp, err := fractal.CompileDecomp(p)
+			if err != nil {
+				return err
+			}
+			fmt.Println(dp.Explain())
+			return nil
+		case "auto":
+			ch, err := fractal.ChooseEngine(p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("selection: %s\n\n", ch.Reason)
+			if ch.UseDecomp {
+				fmt.Println(ch.Decomp.Explain())
+			} else {
+				fmt.Println(ch.Plan.Explain())
+			}
+			return nil
+		}
 		pl, err := fractal.CompilePlan(p)
 		if err != nil {
 			return err
@@ -386,6 +461,16 @@ func patternByName(name string) (*fractal.Pattern, error) {
 		return pattern.Clique(4), nil
 	case "clique5":
 		return pattern.Clique(5), nil
+	case "path3":
+		return pattern.Path(3), nil
+	case "path4":
+		return pattern.Path(4), nil
+	case "star4":
+		return pattern.Star(4), nil
+	case "star5":
+		return pattern.Star(5), nil
+	case "bowtie":
+		return pattern.Bowtie(), nil
 	case "house":
 		return pattern.House(), nil
 	case "prism":

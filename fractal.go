@@ -96,6 +96,7 @@ func PatternClique(k int) *Pattern { return pattern.Clique(k) }
 func PatternTriangle() *Pattern    { return pattern.Triangle() }
 func PatternPath(k int) *Pattern   { return pattern.Path(k) }
 func PatternCycle(k int) *Pattern  { return pattern.Cycle(k) }
+func PatternStar(k int) *Pattern   { return pattern.Star(k) }
 
 // ConnectedPatterns returns all non-isomorphic connected unlabeled
 // patterns on k vertices (k up to pattern.MaxGenVertices), the pattern

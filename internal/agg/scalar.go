@@ -1,0 +1,88 @@
+package agg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Int64Sums is the scalar partial-sum store of the decomposition engine: a
+// fixed-arity vector of int64 sums, index-aligned across cores, where entry
+// i accumulates the i-th polynomial term's local-count sum. Each execution
+// core fills its own Int64Sums during the sweep and the partials reduce
+// through the same pipeline as every other aggregation (MergeTree for the
+// per-core layer, Encode/DecodeAndMerge for the wire) — the decomposition
+// engine adds no second reduction path.
+type Int64Sums struct {
+	Sums []int64
+}
+
+// wireScalar tags the Int64Sums wire form (wireGob and wireBinary tag the
+// Aggregation forms; the tag spaces never meet — a store only ever decodes
+// payloads of its own type — but distinct values keep corruption loud).
+const wireScalar byte = 2
+
+// NewInt64Sums returns a zeroed n-ary sum store.
+func NewInt64Sums(n int) *Int64Sums { return &Int64Sums{Sums: make([]int64, n)} }
+
+// Len implements Store: the arity of the vector (every slot is a live sum).
+func (s *Int64Sums) Len() int { return len(s.Sums) }
+
+// MergeFrom implements Store with elementwise addition.
+func (s *Int64Sums) MergeFrom(other Store) error {
+	o, ok := other.(*Int64Sums)
+	if !ok {
+		return fmt.Errorf("agg: merging %T into %T", other, s)
+	}
+	if len(o.Sums) != len(s.Sums) {
+		return fmt.Errorf("agg: merging %d-ary Int64Sums into %d-ary", len(o.Sums), len(s.Sums))
+	}
+	for i, v := range o.Sums {
+		s.Sums[i] += v
+	}
+	return nil
+}
+
+// Encode implements Store: one tag byte, the arity, then each sum as a
+// zigzag varint.
+func (s *Int64Sums) Encode() ([]byte, error) {
+	dst := binary.AppendUvarint([]byte{wireScalar}, uint64(len(s.Sums)))
+	for _, v := range s.Sums {
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst, nil
+}
+
+// DecodeAndMerge implements Store, folding an encoded vector into the
+// receiver.
+func (s *Int64Sums) DecodeAndMerge(data []byte) error {
+	if len(data) == 0 || data[0] != wireScalar {
+		return fmt.Errorf("agg: Int64Sums payload has bad tag")
+	}
+	data = data[1:]
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return fmt.Errorf("agg: Int64Sums payload truncated at arity")
+	}
+	data = data[k:]
+	if int(n) != len(s.Sums) {
+		return fmt.Errorf("agg: decoding %d-ary Int64Sums into %d-ary", n, len(s.Sums))
+	}
+	for i := 0; i < int(n); i++ {
+		v, k := binary.Varint(data)
+		if k <= 0 {
+			return fmt.Errorf("agg: Int64Sums payload truncated at entry %d", i)
+		}
+		data = data[k:]
+		s.Sums[i] += v
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("agg: Int64Sums payload has %d trailing bytes", len(data))
+	}
+	return nil
+}
+
+// NewEmpty implements Store, preserving the arity.
+func (s *Int64Sums) NewEmpty() Store { return NewInt64Sums(len(s.Sums)) }
+
+// ApplyFilter implements Store as a no-op (sums carry no aggFilter).
+func (s *Int64Sums) ApplyFilter() {}

@@ -1,0 +1,104 @@
+package agg
+
+import (
+	"testing"
+)
+
+func TestInt64SumsMerge(t *testing.T) {
+	a := NewInt64Sums(3)
+	b := NewInt64Sums(3)
+	copy(a.Sums, []int64{1, -2, 3})
+	copy(b.Sums, []int64{10, 20, -30})
+	if err := a.MergeFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{11, 18, -27}
+	for i, v := range want {
+		if a.Sums[i] != v {
+			t.Errorf("Sums[%d]=%d, want %d", i, a.Sums[i], v)
+		}
+	}
+	if err := a.MergeFrom(NewInt64Sums(2)); err == nil {
+		t.Error("arity mismatch: expected error")
+	}
+	if err := a.MergeFrom(New[string, int64](func(a, b int64) int64 { return a + b })); err == nil {
+		t.Error("type mismatch: expected error")
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len=%d, want 3", a.Len())
+	}
+}
+
+func TestInt64SumsWireRoundtrip(t *testing.T) {
+	a := NewInt64Sums(4)
+	copy(a.Sums, []int64{0, 1, -1 << 40, 1 << 50})
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewInt64Sums(4)
+	copy(b.Sums, []int64{100, 0, 0, 0})
+	if err := b.DecodeAndMerge(data); err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 1, -1 << 40, 1 << 50}
+	for i, v := range want {
+		if b.Sums[i] != v {
+			t.Errorf("Sums[%d]=%d, want %d", i, b.Sums[i], v)
+		}
+	}
+
+	// Corruption is loud: bad tag, truncation, arity drift, trailing bytes.
+	if err := b.DecodeAndMerge(nil); err == nil {
+		t.Error("empty payload: expected error")
+	}
+	if err := b.DecodeAndMerge([]byte{99}); err == nil {
+		t.Error("bad tag: expected error")
+	}
+	if err := b.DecodeAndMerge(data[:len(data)-1]); err == nil {
+		t.Error("truncated payload: expected error")
+	}
+	if err := b.DecodeAndMerge(append(append([]byte{}, data...), 0)); err == nil {
+		t.Error("trailing bytes: expected error")
+	}
+	if err := NewInt64Sums(3).DecodeAndMerge(data); err == nil {
+		t.Error("arity drift: expected error")
+	}
+}
+
+func TestInt64SumsNewEmpty(t *testing.T) {
+	a := NewInt64Sums(5)
+	a.Sums[2] = 9
+	e := a.NewEmpty().(*Int64Sums)
+	if len(e.Sums) != 5 {
+		t.Errorf("NewEmpty arity %d, want 5", len(e.Sums))
+	}
+	for i, v := range e.Sums {
+		if v != 0 {
+			t.Errorf("NewEmpty Sums[%d]=%d, want 0", i, v)
+		}
+	}
+}
+
+func TestInt64SumsMergeTree(t *testing.T) {
+	stores := make([]Store, 9)
+	var want int64
+	for i := range stores {
+		if i == 4 {
+			continue // MergeTree skips nil partials
+		}
+		s := NewInt64Sums(2)
+		s.Sums[0] = int64(i + 1)
+		s.Sums[1] = int64(-2 * (i + 1))
+		want += int64(i + 1)
+		stores[i] = s
+	}
+	merged, err := MergeTree(stores, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := merged.(*Int64Sums)
+	if got.Sums[0] != want || got.Sums[1] != -2*want {
+		t.Errorf("merged sums %v, want [%d %d]", got.Sums, want, -2*want)
+	}
+}

@@ -1,0 +1,202 @@
+package apps
+
+import (
+	"context"
+	"fmt"
+
+	"fractal"
+	"fractal/internal/agg"
+	"fractal/internal/pattern"
+)
+
+// The mixed motifs fleet (DESIGN.md §14): every connected k-vertex pattern
+// is counted either by its symmetry-broken induced plan (enumeration) or by
+// a decomposition polynomial over one shared local-count sweep, and the
+// non-induced sweep counts convert to induced class counts by
+// back-substitution through the spanning-subgraph matrix
+// (pattern.CombineInduced). Results are bit-identical to MotifsCanon; the
+// engines differ only in how much they enumerate.
+
+// Motifs counts the frequencies of all k-vertex induced subgraph patterns,
+// auto-selecting the engine per fleet: when the graph is uniform-labeled,
+// k is within the conversion bound, and the cost model finds the shared
+// sweep cheaper than the enumeration it replaces, decomposable patterns are
+// counted algebraically and only the rest are enumerated; otherwise the
+// fleet is pure enumeration (MotifsPlan). For k beyond
+// pattern.MaxGenVertices it falls back to the canonical-check path.
+func Motifs(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
+	if k > pattern.MaxGenVertices {
+		return MotifsCanon(fc, g, k)
+	}
+	if counts, res, used, err := motifsMixed(fc, g, k, false); used {
+		return counts, res, err
+	}
+	return MotifsPlan(fc, g, k)
+}
+
+// MotifsDecomp forces the mixed fleet: decomposable patterns go through the
+// sweep regardless of the cost model (non-decomposable ones still
+// enumerate). It errors where the decomposition engine cannot run at all —
+// non-uniform labels or k beyond the conversion bound — so -engine=decomp
+// fails loudly instead of silently enumerating.
+func MotifsDecomp(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
+	if k > pattern.MaxDecompVertices {
+		return nil, nil, fmt.Errorf("apps: decomposition conversion supports k up to %d, got %d", pattern.MaxDecompVertices, k)
+	}
+	if _, _, ok := uniformLabels(g.Raw()); !ok {
+		return nil, nil, fmt.Errorf("apps: decomposition requires a uniform-label graph; %s mixes labels", g.Raw().Name())
+	}
+	counts, res, used, err := motifsMixed(fc, g, k, true)
+	if err != nil {
+		return counts, res, err
+	}
+	if !used {
+		return nil, nil, fmt.Errorf("apps: no k=%d pattern is decomposable", k)
+	}
+	return counts, res, nil
+}
+
+// MotifsFleetReason reports, without running anything, which engine the
+// auto-selecting fleet would use for k on g and why — the -explain surface
+// of the motifs kernel. A nil graph skips the label check (the -explain
+// path, which loads no graph, assumes uniform labels).
+func MotifsFleetReason(g *fractal.Graph, k int) string {
+	if k > pattern.MaxGenVertices {
+		return fmt.Sprintf("canon: k=%d beyond the pattern generator bound %d", k, pattern.MaxGenVertices)
+	}
+	if g != nil {
+		if _, _, ok := uniformLabels(g.Raw()); !ok {
+			return "enumeration fleet: graph mixes labels (decomposition sweep is label-blind)"
+		}
+	}
+	if k > pattern.MaxDecompVertices {
+		return fmt.Sprintf("enumeration fleet: k=%d beyond the induced-conversion bound %d", k, pattern.MaxDecompVertices)
+	}
+	pats, err := pattern.ConnectedPatterns(k)
+	if err != nil {
+		return err.Error()
+	}
+	dplans, enumCost, sweepCost := fleetCosts(pats)
+	n := 0
+	for _, dp := range dplans {
+		if dp != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Sprintf("enumeration fleet: none of the %d patterns is decomposable", len(pats))
+	}
+	if enumCost > sweepCost {
+		return fmt.Sprintf("mixed fleet: %d of %d patterns decomposed — shared sweep est %.3g ops replaces %.3g partial embeddings",
+			n, len(pats), sweepCost, enumCost)
+	}
+	return fmt.Sprintf("enumeration fleet: sweep est %.3g ops would not pay for %.3g partial embeddings saved", sweepCost, enumCost)
+}
+
+// fleetCosts compiles the decomposition side of the fleet: per pattern the
+// DecompPlan (nil where no rule matches), the total enumeration cost of the
+// decomposable patterns (what the sweep would replace), and the shared
+// sweep cost (the max over plans — one sweep serves all, and the
+// triangle-needing plan dominates).
+func fleetCosts(pats []*pattern.Pattern) (dplans []*pattern.DecompPlan, enumCost, sweepCost float64) {
+	dplans = make([]*pattern.DecompPlan, len(pats))
+	for i, p := range pats {
+		dp, err := pattern.Decompose(p)
+		if err != nil {
+			continue
+		}
+		dplans[i] = dp
+		if pl, err := pattern.NewInducedPlan(p); err == nil {
+			enumCost += pl.EstCost
+		}
+		if dp.EstCost > sweepCost {
+			sweepCost = dp.EstCost
+		}
+	}
+	return dplans, enumCost, sweepCost
+}
+
+// motifsMixed runs the mixed fleet. used reports whether decomposition was
+// engaged — false sends the caller to the pure plan fleet (not an error:
+// the cost model simply declined, or the graph/k is outside the engine).
+func motifsMixed(fc *fractal.Context, g *fractal.Graph, k int, force bool) (_ MotifCounts, _ *fractal.Result, used bool, _ error) {
+	if k > pattern.MaxDecompVertices {
+		return nil, nil, false, nil
+	}
+	vl, el, ok := uniformLabels(g.Raw())
+	if !ok {
+		return nil, nil, false, nil
+	}
+	pats, err := pattern.ConnectedPatterns(k)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	dplans, enumCost, sweepCost := fleetCosts(pats)
+	any := false
+	for _, dp := range dplans {
+		if dp != nil {
+			any = true
+		}
+	}
+	if !any || (!force && enumCost <= sweepCost) {
+		return nil, nil, false, nil
+	}
+
+	// Decomposed half: one shared sweep evaluating every polynomial.
+	var sweep []*fractal.DecompPlan
+	for _, dp := range dplans {
+		if dp != nil {
+			sweep = append(sweep, dp)
+		}
+	}
+	nonInduced := make([]int64, len(pats))
+	decomposed := make([]bool, len(pats))
+	sweepCounts, dres, err := g.EvalDecomps(context.Background(), sweep)
+	results := []*fractal.Result{dres}
+	if err != nil {
+		return nil, fractal.CombineResults(results...), true, err
+	}
+	si := 0
+	for i, dp := range dplans {
+		if dp != nil {
+			nonInduced[i] = sweepCounts[si]
+			decomposed[i] = true
+			si++
+		}
+	}
+
+	// Enumerated half: induced plan jobs for the patterns no rule covers.
+	induced := make([]int64, len(pats))
+	for i, p := range pats {
+		if decomposed[i] {
+			continue
+		}
+		lp := pattern.WithUniformLabels(p, vl, el)
+		plan, err := fractal.CompileInducedPlan(lp)
+		if err != nil {
+			return nil, fractal.CombineResults(results...), true, err
+		}
+		n, res, err := g.PFractoidPlan(plan).Expand(k).Count()
+		results = append(results, res)
+		if err != nil {
+			return nil, fractal.CombineResults(results...), true, err
+		}
+		induced[i] = n
+	}
+
+	// Conversion: solve the decomposed classes' induced counts.
+	if err := pattern.CombineInduced(pats, induced, nonInduced, decomposed); err != nil {
+		return nil, fractal.CombineResults(results...), true, err
+	}
+
+	counts := make(MotifCounts, len(pats))
+	for i, p := range pats {
+		if induced[i] == 0 {
+			continue
+		}
+		lp := pattern.WithUniformLabels(p, vl, el)
+		canon := fc.PatternCanon(lp)
+		counts[canon.Code] = agg.PatternCount{Pat: fc.PatternRepOf(lp), Count: induced[i]}
+	}
+	return counts, fractal.CombineResults(results...), true, nil
+}

@@ -1,0 +1,271 @@
+package apps
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fractal"
+	"fractal/internal/graph"
+	"fractal/internal/pattern"
+	"fractal/internal/workload"
+)
+
+// Differential suites for the decomposition engine (DESIGN.md §14): the
+// mixed fleet's motif counts must be bit-identical to both the pure plan
+// fleet and the canonical-check oracle over randomized ER/BA/multigraph
+// seeds, the auto selection must fall back cleanly on labeled graphs, and
+// single-pattern decomposition counts must match plan enumeration.
+
+// decompMultigraph samples edges with replacement so parallel edges occur;
+// with labels=1 every label is 0, keeping the graph uniform for the sweep.
+func decompMultigraph(name string, n, m, labels int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(name)
+	for i := 0; i < n; i++ {
+		b.AddVertex(graph.Label(rng.Intn(labels)))
+	}
+	for i := 0; i < m; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		b.MustAddEdge(u, v, graph.Label(rng.Intn(labels)))
+	}
+	return b.Build()
+}
+
+func decompDiffGraphs() []*graph.Graph {
+	return []*graph.Graph{
+		workload.ErdosRenyi("ddiff-er", 70, 260, 1, 51),
+		workload.ErdosRenyi("ddiff-er-sparse", 90, 120, 1, 52),
+		workload.BarabasiAlbert("ddiff-ba", 90, 3, 1, 53),
+		workload.BarabasiAlbert("ddiff-ba-dense", 60, 6, 1, 54),
+		decompMultigraph("ddiff-mg", 50, 220, 1, 55),
+	}
+}
+
+func TestMotifsDecompMatchesPlanAndCanon(t *testing.T) {
+	ctx := testCtx(t)
+	for _, raw := range decompDiffGraphs() {
+		g := ctx.FromGraph(raw)
+		for k := 1; k <= 5; k++ {
+			if k == 5 && testing.Short() {
+				continue
+			}
+			decomp, _, err := MotifsDecomp(ctx, g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d decomp: %v", raw.Name(), k, err)
+			}
+			plan, _, err := MotifsPlan(ctx, g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d plan: %v", raw.Name(), k, err)
+			}
+			motifCountsEqual(t, raw.Name()+"/decomp-vs-plan", k, decomp, plan)
+			if k <= 4 {
+				canon, _, err := MotifsCanon(ctx, g, k)
+				if err != nil {
+					t.Fatalf("%s k=%d canon: %v", raw.Name(), k, err)
+				}
+				motifCountsEqual(t, raw.Name()+"/decomp-vs-canon", k, decomp, canon)
+			}
+		}
+	}
+}
+
+func TestMotifsAutoMatchesCanon(t *testing.T) {
+	ctx := testCtx(t)
+	for _, raw := range decompDiffGraphs() {
+		g := ctx.FromGraph(raw)
+		for k := 3; k <= 4; k++ {
+			auto, _, err := Motifs(ctx, g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d auto: %v", raw.Name(), k, err)
+			}
+			canon, _, err := MotifsCanon(ctx, g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d canon: %v", raw.Name(), k, err)
+			}
+			motifCountsEqual(t, raw.Name()+"/auto-vs-canon", k, auto, canon)
+		}
+	}
+}
+
+// TestMotifsAutoLabeledFallback: on a labeled graph the auto fleet must
+// decline decomposition and still match the oracle, and the forced engine
+// must refuse.
+func TestMotifsAutoLabeledFallback(t *testing.T) {
+	ctx := testCtx(t)
+	raw := workload.ErdosRenyi("ddiff-ml", 60, 220, 3, 56)
+	g := ctx.FromGraph(raw)
+	auto, _, err := Motifs(ctx, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, _, err := MotifsCanon(ctx, g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifCountsEqual(t, "ddiff-ml/auto-vs-canon", 3, auto, canon)
+
+	if _, _, err := MotifsDecomp(ctx, g, 3); err == nil {
+		t.Error("MotifsDecomp on a labeled graph: expected error")
+	}
+	if reason := MotifsFleetReason(g, 3); !strings.Contains(reason, "labels") {
+		t.Errorf("labeled-graph fleet reason %q does not mention labels", reason)
+	}
+}
+
+// TestMotifsDecompRefusesOversizeK: the induced conversion is bounded by
+// MaxDecompVertices; the forced engine errors, the auto engine falls back.
+func TestMotifsDecompRefusesOversizeK(t *testing.T) {
+	ctx := testCtx(t)
+	g := ctx.FromGraph(workload.ErdosRenyi("ddiff-k6", 30, 60, 1, 57))
+	if _, _, err := MotifsDecomp(ctx, g, pattern.MaxDecompVertices+1); err == nil {
+		t.Error("k beyond the conversion bound: expected error")
+	}
+	reason := MotifsFleetReason(g, pattern.MaxDecompVertices+1)
+	if !strings.Contains(reason, "enumeration") && !strings.Contains(reason, "canon") {
+		t.Errorf("oversize-k fleet reason %q", reason)
+	}
+}
+
+// TestMotifsFleetReasonMixed pins the auto decision on uniform graphs at
+// k=3..5: the shared sweep replaces enough enumeration to win.
+func TestMotifsFleetReasonMixed(t *testing.T) {
+	ctx := testCtx(t)
+	g := ctx.FromGraph(workload.BarabasiAlbert("ddiff-reason", 50, 3, 1, 58))
+	for k := 3; k <= 5; k++ {
+		reason := MotifsFleetReason(g, k)
+		if !strings.HasPrefix(reason, "mixed fleet:") {
+			t.Errorf("k=%d: reason %q, want mixed fleet", k, reason)
+		}
+	}
+	// The graph-free form (the -explain path) agrees.
+	if reason := MotifsFleetReason(nil, 4); !strings.HasPrefix(reason, "mixed fleet:") {
+		t.Errorf("nil-graph reason %q, want mixed fleet", reason)
+	}
+}
+
+// TestDecompCountMatchesQueryPlans pins the single-pattern public API:
+// DecompCount equals the plan engine's non-induced match count for every
+// decomposable query shape, on simple graphs and multigraphs.
+func TestDecompCountMatchesQueryPlans(t *testing.T) {
+	ctx := testCtx(t)
+	pats := map[string]*fractal.Pattern{
+		"triangle": pattern.Triangle(),
+		"path3":    pattern.Path(3),
+		"path4":    pattern.Path(4),
+		"star4":    pattern.Star(4),
+		"star5":    pattern.Star(5),
+		"diamond":  pattern.ChordalSquare(),
+		"bowtie":   pattern.Bowtie(),
+	}
+	for _, raw := range []*graph.Graph{
+		workload.ErdosRenyi("ddiff-q", 60, 200, 1, 59),
+		decompMultigraph("ddiff-q-mg", 40, 150, 1, 60),
+	} {
+		g := ctx.FromGraph(raw)
+		for name, p := range pats {
+			dp, err := fractal.CompileDecomp(p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got, res, err := g.DecompCount(dp)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", raw.Name(), name, err)
+			}
+			if res.TotalEC() <= 0 {
+				t.Errorf("%s/%s: sweep reported EC=%d", raw.Name(), name, res.TotalEC())
+			}
+			want, _, err := Query(ctx, g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s/%s: decomp=%d plan=%d", raw.Name(), name, got, want)
+			}
+		}
+	}
+}
+
+// TestDecompCountLabelSemantics: incompatible uniform labels yield zero;
+// mixed-label graphs are refused.
+func TestDecompCountLabelSemantics(t *testing.T) {
+	ctx := testCtx(t)
+
+	// Uniformly labeled graph (every vertex label 3, every edge label 1).
+	b := graph.NewBuilder("ddiff-lab")
+	for i := 0; i < 5; i++ {
+		b.AddVertex(3)
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.MustAddEdge(graph.VertexID(i), graph.VertexID(j), 1)
+		}
+	}
+	g := ctx.FromGraph(b.Build())
+
+	// A wildcard triangle matches; a triangle demanding label 9 matches zero.
+	dp, err := fractal.CompileDecomp(pattern.Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _, err := g.DecompCount(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("wildcard triangle count 0 on a labeled clique")
+	}
+	lb := pattern.NewBuilder(3)
+	for v := 0; v < 3; v++ {
+		lb.SetVertexLabel(v, 9)
+	}
+	lb.AddEdge(0, 1, 1)
+	lb.AddEdge(1, 2, 1)
+	lb.AddEdge(0, 2, 1)
+	dp9, err := fractal.CompileDecomp(lb.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _, err = g.DecompCount(dp9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("label-9 triangle count %d on a label-3 graph, want 0", n)
+	}
+
+	// Mixed-label graphs are outside the engine.
+	ml := ctx.FromGraph(workload.ErdosRenyi("ddiff-lab-ml", 30, 90, 3, 61))
+	if _, _, err := ml.DecompCount(dp); err == nil {
+		t.Error("mixed-label graph: expected error")
+	}
+}
+
+// TestMotifsDecompSweepCheaper is the engine's reason to exist: on the
+// acceptance-shaped BA graph at k=4 the mixed fleet must report far less
+// extension cost than the pure plan fleet while agreeing bit-for-bit.
+func TestMotifsDecompSweepCheaper(t *testing.T) {
+	ctx := testCtx(t)
+	g := ctx.FromGraph(workload.BarabasiAlbert("ddiff-ec", 200, 4, 1, 62))
+	md, dres, err := MotifsDecomp(ctx, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, pres, err := MotifsPlan(ctx, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifCountsEqual(t, "ddiff-ec", 4, md, mp)
+	decompEC, planEC := dres.TotalEC(), pres.TotalEC()
+	if decompEC == 0 || planEC == 0 {
+		t.Fatalf("degenerate EC: decomp=%d plan=%d", decompEC, planEC)
+	}
+	if planEC < 2*decompEC {
+		t.Errorf("mixed fleet EC=%d, plan fleet EC=%d: want >= 2x reduction", decompEC, planEC)
+	}
+	t.Logf("motifs k=4 EC: mixed=%d plan=%d (%.1fx)", decompEC, planEC, float64(planEC)/float64(decompEC))
+}

@@ -25,16 +25,21 @@ func (m MotifCounts) Total() int64 {
 	return t
 }
 
-// Motifs counts the frequencies of all k-vertex induced subgraph patterns
-// using the compiled-plan engine: one pattern-induced job per non-isomorphic
-// connected k-vertex pattern, each running a symmetry-broken induced plan,
-// so every automorphism class of embeddings is enumerated exactly once and
-// no per-embedding canonicalization is needed. The returned Result combines
-// the per-plan jobs (CombineResults), so TotalEC spans the whole engine.
+// MotifsPlan counts the frequencies of all k-vertex induced subgraph
+// patterns using the pure compiled-plan engine: one pattern-induced job per
+// non-isomorphic connected k-vertex pattern, each running a symmetry-broken
+// induced plan, so every automorphism class of embeddings is enumerated
+// exactly once and no per-embedding canonicalization is needed. The
+// returned Result combines the per-plan jobs (CombineResults), so TotalEC
+// spans the whole engine.
+//
+// Motifs is the auto-selecting entry point (it mixes in decomposed jobs
+// when the cost model justifies the sweep); MotifsPlan remains the pure
+// enumeration engine behind -engine=plan and the differential oracles.
 //
 // For k beyond pattern.MaxGenVertices the engine falls back to the
 // canonical-check path (MotifsCanon), which supports any k.
-func Motifs(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
+func MotifsPlan(fc *fractal.Context, g *fractal.Graph, k int) (MotifCounts, *fractal.Result, error) {
 	if k > pattern.MaxGenVertices {
 		return MotifsCanon(fc, g, k)
 	}
@@ -118,29 +123,10 @@ func motifsPlanLabeled(fc *fractal.Context, g *fractal.Graph, k int, pats []*pat
 // uniformLabels reports whether every vertex of g carries at most one label
 // and all vertices agree, and every edge label agrees; the common labels
 // are returned for pattern specialization. Unlabeled graphs are uniform
-// (with the no-label sentinel).
+// (with the no-label sentinel). The check itself lives on graph.Graph so
+// the decomposition engine shares it.
 func uniformLabels(g *graph.Graph) (vl, el graph.Label, ok bool) {
-	n := g.NumVertices()
-	if n == 0 {
-		return 0, 0, false
-	}
-	vl = g.VertexLabel(0)
-	for v := 0; v < n; v++ {
-		id := graph.VertexID(v)
-		if len(g.VertexLabels(id)) > 1 || g.VertexLabel(id) != vl {
-			return 0, 0, false
-		}
-	}
-	el = pattern.NoLabel
-	for id := 0; id < g.NumEdges(); id++ {
-		l := g.EdgeLabel(graph.EdgeID(id))
-		if id == 0 {
-			el = l
-		} else if l != el {
-			return 0, 0, false
-		}
-	}
-	return vl, el, true
+	return g.UniformLabels()
 }
 
 // MotifsCanon counts motifs with the seed canonical-check path (Listing 1

@@ -23,12 +23,16 @@ func benchCtx(b *testing.B) *fractal.Context {
 }
 
 func benchMotifs(b *testing.B, run func(*fractal.Context, *fractal.Graph, int) (MotifCounts, *fractal.Result, error)) {
+	benchMotifsK(b, 4, run)
+}
+
+func benchMotifsK(b *testing.B, k int, run func(*fractal.Context, *fractal.Graph, int) (MotifCounts, *fractal.Result, error)) {
 	ctx := benchCtx(b)
 	g := ctx.FromGraph(workload.BarabasiAlbert("bench-plan-ba", 400, 6, 1, 31))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, _, err := run(ctx, g, 4)
+		m, _, err := run(ctx, g, k)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -38,7 +42,7 @@ func benchMotifs(b *testing.B, run func(*fractal.Context, *fractal.Graph, int) (
 	}
 }
 
-func BenchmarkMotifsPlan(b *testing.B)  { benchMotifs(b, Motifs) }
+func BenchmarkMotifsPlan(b *testing.B)  { benchMotifs(b, MotifsPlan) }
 func BenchmarkMotifsCanon(b *testing.B) { benchMotifs(b, MotifsCanon) }
 
 func benchCliques(b *testing.B, run func(*fractal.Context, *fractal.Graph, int) (int64, *fractal.Result, error)) {

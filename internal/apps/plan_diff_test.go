@@ -50,7 +50,7 @@ func TestMotifsPlanMatchesCanonical(t *testing.T) {
 	for _, raw := range diffGraphs() {
 		g := ctx.FromGraph(raw)
 		for k := 1; k <= 4; k++ {
-			plan, _, err := Motifs(ctx, g, k)
+			plan, _, err := MotifsPlan(ctx, g, k)
 			if err != nil {
 				t.Fatalf("%s k=%d plan: %v", raw.Name(), k, err)
 			}
@@ -90,7 +90,7 @@ func TestPlanMatchesCanonicalOnPinDatasets(t *testing.T) {
 	ctx := testCtx(t)
 
 	g := ctx.FromGraph(pinGraph(t, "mico-sl"))
-	plan, _, err := Motifs(ctx, g, 3)
+	plan, _, err := MotifsPlan(ctx, g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestMotifsPlanEnumeratesLess(t *testing.T) {
 	ctx := testCtx(t)
 	g := ctx.FromGraph(workload.BarabasiAlbert("ec-ba", 200, 4, 1, 25))
 
-	mp, planRes, err := Motifs(ctx, g, 4)
+	mp, planRes, err := MotifsPlan(ctx, g, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestCliquesPlanEnumeratesLess(t *testing.T) {
 func TestMotifsPlanMultiLabelClasses(t *testing.T) {
 	ctx := testCtx(t)
 	g := ctx.FromGraph(workload.ErdosRenyi("ml-rich", 50, 200, 5, 27))
-	plan, _, err := Motifs(ctx, g, 3)
+	plan, _, err := MotifsPlan(ctx, g, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -71,7 +71,7 @@ func Fig11(o Options) error {
 		}
 		fg := ctx.FromGraph(g)
 		t0 := time.Now()
-		if _, _, err := apps.Motifs(ctx, fg, c.k); err != nil {
+		if _, _, err := apps.MotifsPlan(ctx, fg, c.k); err != nil {
 			return err
 		}
 		frac := time.Since(t0)

@@ -114,7 +114,7 @@ func Fig18(o Options) error {
 				return r.Wall, nil
 			},
 			fractal: func(ctx *fractal.Context) ([]fractal.StepReport, time.Duration, error) {
-				_, r, err := apps.Motifs(ctx, ctx.FromGraph(micoSL), motifK)
+				_, r, err := apps.MotifsPlan(ctx, ctx.FromGraph(micoSL), motifK)
 				if err != nil {
 					return nil, 0, err
 				}
@@ -214,7 +214,7 @@ func Fig19(o Options) error {
 	}
 	kernels := []kernel{
 		{"motifs(mico-sl,3)", func(ctx *fractal.Context) ([]fractal.StepReport, error) {
-			_, r, err := apps.Motifs(ctx, ctx.FromGraph(micoSL), 3)
+			_, r, err := apps.MotifsPlan(ctx, ctx.FromGraph(micoSL), 3)
 			if err != nil {
 				return nil, err
 			}

@@ -105,7 +105,7 @@ func Table2(o Options) error {
 					// the budget below and measure Fractal exactly.
 					_ = k
 				}
-				_, fres, err = apps.Motifs(ctx, fg, k)
+				_, fres, err = apps.MotifsPlan(ctx, fg, k)
 			}
 			if err != nil {
 				return err
@@ -365,7 +365,7 @@ func Sec6(o Options) error {
 	if err := run("cliques(mico-sl,4)", r1.Steps, err); err != nil {
 		return err
 	}
-	_, r2, err := apps.Motifs(ctx, ctx.FromGraph(g1), 3)
+	_, r2, err := apps.MotifsPlan(ctx, ctx.FromGraph(g1), 3)
 	if err := run("motifs(mico-sl,3)", r2.Steps, err); err != nil {
 		return err
 	}

@@ -148,6 +148,7 @@ func (b *Builder) Build() *Graph {
 		g.vkwOff, g.vkw = packLabels(b.vkeywords)
 		g.ekwOff, g.ekw = packLabels(b.ekeywords)
 	}
+	g.finalize()
 	return g
 }
 

@@ -442,6 +442,7 @@ func DecodeFGR(data []byte) (*Graph, error) {
 	if err := validateCSR(g, numV, numE); err != nil {
 		return nil, err
 	}
+	g.finalize()
 	return g, nil
 }
 

@@ -96,6 +96,33 @@ type Graph struct {
 	// unmap releases the file mapping the arrays alias, non-nil only for
 	// graphs loaded with LoadFGR.
 	unmap func() error
+
+	// vlabFixed/elabFixed mark stride-1 packed label arrays — every vertex
+	// (edge) carries exactly one label, the overwhelmingly common shape —
+	// letting the label accessors index the payload array directly instead
+	// of loading two offsets and building a subslice per call (the
+	// documented ~2× AttributeScan regression of the flat refactor). Both
+	// construction paths (Builder.Build, DecodeFGR) set them via finalize.
+	vlabFixed bool
+	elabFixed bool
+}
+
+// finalize precomputes the derived fast-path flags after the packed arrays
+// are in place. It must be called by every Graph construction path.
+func (g *Graph) finalize() {
+	g.vlabFixed = strideOne(g.vlabOff)
+	g.elabFixed = strideOne(g.elabOff)
+}
+
+// strideOne reports whether the offsets describe exactly one payload
+// element per entry (off[i] == i throughout).
+func strideOne(off []int32) bool {
+	for i, o := range off {
+		if o != int32(i) {
+			return false
+		}
+	}
+	return len(off) > 0
 }
 
 // Name returns the dataset name given at build time (may be empty).
@@ -140,13 +167,22 @@ func span(packed []Label, off []int32, i int32) []Label {
 }
 
 // VertexLabels returns the sorted label set of v. Callers must not mutate it.
-func (g *Graph) VertexLabels(v VertexID) []Label { return span(g.vlab, g.vlabOff, int32(v)) }
+func (g *Graph) VertexLabels(v VertexID) []Label {
+	if g.vlabFixed {
+		i := uint(v)
+		return g.vlab[i : i+1 : i+1]
+	}
+	return span(g.vlab, g.vlabOff, int32(v))
+}
 
 // VertexLabel returns the first label of v, or -1 if v is unlabeled. Most
 // kernels in the paper use single-labeled (-SL) graphs, where this is the
-// label.
+// label — and where the fixed-stride fast path makes it one array read.
 func (g *Graph) VertexLabel(v VertexID) Label {
 	i := uint(v)
+	if g.vlabFixed {
+		return g.vlab[i]
+	}
 	if lo, hi := g.vlabOff[i], g.vlabOff[i+1]; lo < hi {
 		return g.vlab[uint32(lo)]
 	}
@@ -169,6 +205,9 @@ func (g *Graph) EdgeEndpoints(id EdgeID) (src, dst VertexID) {
 // EdgeLabel returns the first label of edge id, or -1 if unlabeled.
 func (g *Graph) EdgeLabel(id EdgeID) Label {
 	i := uint(id)
+	if g.elabFixed {
+		return g.elab[i]
+	}
 	if lo, hi := g.elabOff[i], g.elabOff[i+1]; lo < hi {
 		return g.elab[uint32(lo)]
 	}
@@ -257,6 +296,41 @@ func (g *Graph) EdgeKeywords(id EdgeID) []Label {
 
 // HasKeywords reports whether the graph carries keyword attributes.
 func (g *Graph) HasKeywords() bool { return g.vkwOff != nil || g.ekwOff != nil }
+
+// UniformLabels reports whether every vertex carries at most one label and
+// all vertices agree, and every edge label agrees; the common labels are
+// returned (NoLabel sentinels for unlabeled). Uniform graphs admit
+// label-blind engines — the motifs fast path and the decomposition sweep
+// both key off this.
+func (g *Graph) UniformLabels() (vl, el Label, ok bool) {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0, 0, false
+	}
+	vl = g.VertexLabel(0)
+	if !g.vlabFixed { // fixed stride: one label each; only the values can differ
+		for v := 0; v < n; v++ {
+			if len(g.VertexLabels(VertexID(v))) > 1 {
+				return 0, 0, false
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if g.VertexLabel(VertexID(v)) != vl {
+			return 0, 0, false
+		}
+	}
+	el = -1
+	for id := 0; id < g.NumEdges(); id++ {
+		l := g.EdgeLabel(EdgeID(id))
+		if id == 0 {
+			el = l
+		} else if l != el {
+			return 0, 0, false
+		}
+	}
+	return vl, el, true
+}
 
 // Mapped reports whether the graph's arrays alias a file mapping (LoadFGR).
 func (g *Graph) Mapped() bool { return g.unmap != nil }

@@ -321,3 +321,100 @@ func TestEnsureVertices(t *testing.T) {
 		t.Fatalf("NumVertices shrank to %d", b.NumVertices())
 	}
 }
+
+// TestLabelFastPathFlags pins the stride-1 label fast path (the fix for the
+// AttributeScan regression of the flat refactor): both construction paths
+// set the flags, exactly when every vertex/edge carries one label, and the
+// accessors agree with the general span path either way.
+func TestLabelFastPathFlags(t *testing.T) {
+	uni := NewBuilder("fixed")
+	for i := 0; i < 4; i++ {
+		uni.AddVertex(Label(i % 2))
+	}
+	uni.MustAddEdge(0, 1, 7)
+	uni.MustAddEdge(1, 2, 8)
+	g := uni.Build()
+	if !g.vlabFixed || !g.elabFixed {
+		t.Errorf("single-label graph: vlabFixed=%v elabFixed=%v, want true", g.vlabFixed, g.elabFixed)
+	}
+	dec, err := DecodeFGR(EncodeFGR(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.vlabFixed || !dec.elabFixed {
+		t.Errorf("decoded graph: vlabFixed=%v elabFixed=%v, want true", dec.vlabFixed, dec.elabFixed)
+	}
+
+	mixed := NewBuilder("mixed")
+	mixed.AddVertex(1, 2) // two labels
+	mixed.AddVertex()     // none
+	mixed.AddVertex(3)
+	mixed.MustAddEdge(0, 1)
+	mixed.MustAddEdge(1, 2, 5)
+	m := mixed.Build()
+	if m.vlabFixed || m.elabFixed {
+		t.Errorf("mixed-arity graph: vlabFixed=%v elabFixed=%v, want false", m.vlabFixed, m.elabFixed)
+	}
+	if got := m.VertexLabel(1); got != -1 {
+		t.Errorf("unlabeled vertex label %d, want -1", got)
+	}
+	if got := m.EdgeLabel(0); got != -1 {
+		t.Errorf("unlabeled edge label %d, want -1", got)
+	}
+
+	// Accessors agree across fast and general paths.
+	for v := 0; v < g.NumVertices(); v++ {
+		want := span(g.vlab, g.vlabOff, int32(v))
+		got := g.VertexLabels(VertexID(v))
+		if len(got) != len(want) || got[0] != want[0] {
+			t.Errorf("VertexLabels(%d)=%v, span=%v", v, got, want)
+		}
+		if g.VertexLabel(VertexID(v)) != want[0] {
+			t.Errorf("VertexLabel(%d)=%d, want %d", v, g.VertexLabel(VertexID(v)), want[0])
+		}
+	}
+}
+
+// TestUniformLabels pins the shared uniformity check the motifs fast path
+// and the decomposition sweep both key off.
+func TestUniformLabels(t *testing.T) {
+	b := NewBuilder("uni")
+	for i := 0; i < 3; i++ {
+		b.AddVertex(4)
+	}
+	b.MustAddEdge(0, 1, 9)
+	b.MustAddEdge(1, 2, 9)
+	if vl, el, ok := b.Build().UniformLabels(); !ok || vl != 4 || el != 9 {
+		t.Errorf("UniformLabels = (%d,%d,%v), want (4,9,true)", vl, el, ok)
+	}
+
+	ub := NewBuilder("unlabeled")
+	ub.AddVertex()
+	ub.AddVertex()
+	ub.MustAddEdge(0, 1)
+	if vl, el, ok := ub.Build().UniformLabels(); !ok || vl != -1 || el != -1 {
+		t.Errorf("unlabeled UniformLabels = (%d,%d,%v), want (-1,-1,true)", vl, el, ok)
+	}
+
+	mb := NewBuilder("mixed-v")
+	mb.AddVertex(1)
+	mb.AddVertex(2)
+	mb.MustAddEdge(0, 1)
+	if _, _, ok := mb.Build().UniformLabels(); ok {
+		t.Error("mixed vertex labels reported uniform")
+	}
+
+	eb := NewBuilder("mixed-e")
+	eb.AddVertex(1)
+	eb.AddVertex(1)
+	eb.AddVertex(1)
+	eb.MustAddEdge(0, 1, 5)
+	eb.MustAddEdge(1, 2, 6)
+	if _, _, ok := eb.Build().UniformLabels(); ok {
+		t.Error("mixed edge labels reported uniform")
+	}
+
+	if _, _, ok := NewBuilder("empty").Build().UniformLabels(); ok {
+		t.Error("empty graph reported uniform")
+	}
+}

@@ -34,6 +34,95 @@ func decodeFuzzPattern(nRaw, edges, vlabBits, elabBits uint32) *Pattern {
 	return b.Build()
 }
 
+// FuzzDecompose asserts the decomposition rule search is total (never
+// panics, always returns a plan or an error), deterministic, and that every
+// compiled plan is well-formed: terms reference generated core subpatterns
+// (connected, at most 3 vertices), the cost estimate is positive, NeedTri
+// agrees with the terms, and Explain is stable across recompilations.
+// Refusals must hold for every pattern outside the documented families:
+// non-uniform labels, disconnection, and shapes with no rule.
+func FuzzDecompose(f *testing.F) {
+	f.Add(uint32(2), uint32(7), uint32(0), uint32(0))        // triangle
+	f.Add(uint32(3), uint32(63), uint32(0), uint32(0))       // K4 (refused)
+	f.Add(uint32(3), uint32(0b011011), uint32(0), uint32(0)) // square (refused)
+	f.Add(uint32(3), uint32(0b001011), uint32(0), uint32(0)) // star
+	f.Add(uint32(3), uint32(0b100110), uint32(0), uint32(0)) // path
+	f.Add(uint32(4), uint32(0b0000110011), uint32(0), uint32(0))
+	f.Add(uint32(4), uint32(0b1100101001), uint32(0x1b), uint32(0x2d)) // labeled
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0))                  // single vertex
+	f.Add(uint32(4), uint32(0b0000101111), uint32(0), uint32(0))       // bowtie-ish
+	f.Fuzz(func(t *testing.T, nRaw, edges, vlabBits, elabBits uint32) {
+		p := decodeFuzzPattern(nRaw, edges, vlabBits, elabBits)
+		dp, err := Decompose(p)
+		if err != nil {
+			// Refusals must be stable too.
+			if _, err2 := Decompose(p); err2 == nil {
+				t.Fatalf("%v: refusal not deterministic", p)
+			}
+			return
+		}
+		if !p.Connected() {
+			t.Fatalf("%v: disconnected pattern decomposed", p)
+		}
+		if !uniformPatternLabels(p) {
+			t.Fatalf("%v: mixed-label pattern decomposed", p)
+		}
+		if dp.Rule == "" || len(dp.Terms) == 0 || len(dp.Cores) == 0 {
+			t.Fatalf("%v: degenerate plan %+v", p, dp)
+		}
+		if dp.P != p {
+			t.Fatalf("%v: plan does not reference its pattern", p)
+		}
+		needTri := false
+		for _, term := range dp.Terms {
+			if term.Core < 0 || term.Core >= len(dp.Cores) {
+				t.Fatalf("%v: term core %d outside %d cores", p, term.Core, len(dp.Cores))
+			}
+			if term.Coef == 0 || term.Div < 1 {
+				t.Fatalf("%v: term %+v has degenerate Coef/Div", p, term)
+			}
+			if term.NeedsTri() {
+				needTri = true
+				if dp.Cores[term.Core].NumVertices() != 3 {
+					t.Fatalf("%v: triangle-reading term bound to core K%d",
+						p, dp.Cores[term.Core].NumVertices())
+				}
+			}
+		}
+		if needTri != dp.NeedTri {
+			t.Fatalf("%v: NeedTri=%v, terms say %v", p, dp.NeedTri, needTri)
+		}
+		for _, core := range dp.Cores {
+			if k := core.NumVertices(); k < 1 || k > 3 {
+				t.Fatalf("%v: core size %d outside K1..K3", p, k)
+			}
+			if !core.Connected() {
+				t.Fatalf("%v: disconnected core", p)
+			}
+		}
+		if dp.EstCost <= 0 {
+			t.Fatalf("%v: EstCost=%g", p, dp.EstCost)
+		}
+		again, err := Decompose(p)
+		if err != nil {
+			t.Fatalf("%v: decomposition not deterministic: %v", p, err)
+		}
+		if again.Explain() != dp.Explain() {
+			t.Fatalf("%v: Explain drifted across recompilations", p)
+		}
+		// The cost-model choice is also total and deterministic.
+		if p.Connected() {
+			ch, err := Choose(p)
+			if err != nil {
+				t.Fatalf("%v: Choose: %v", p, err)
+			}
+			if ch.Plan == nil || ch.Reason == "" {
+				t.Fatalf("%v: Choice missing plan or reason", p)
+			}
+		}
+	})
+}
+
 // FuzzPlanCompile asserts that every compilable pattern yields a plan that
 // is connected (every level after the first has a backward constraint),
 // total (every pattern vertex is bound exactly once, with its label and all

@@ -365,17 +365,22 @@ func (pl *Plan) NumRestrictions() int {
 // Explain renders the compiled plan for humans: the matching order with each
 // level's backward adjacency (and label) constraints, the symmetry-breaking
 // restriction pairs, the matching semantics, and the cost model's estimates.
-// The output is stable for a given plan and intended for -explain style
-// tooling, logs, and tests.
+// Estimates are labeled with their units — candidate-set sizes per level and
+// partial embeddings for costs, both symbolic (the estVertices/estDegree
+// reference graph, comparable across plans but not wall-clock predictions) —
+// and every level shows the cumulative cost through that level, so the total
+// in the header is cross-referenced line by line. The output is stable for a
+// given plan and intended for -explain style tooling, logs, and golden tests.
 func (pl *Plan) Explain() string {
 	var sb strings.Builder
 	mode := "edge-matched"
 	if pl.Induced {
 		mode = "induced"
 	}
-	fmt.Fprintf(&sb, "plan: %d levels, %s, %d restriction pairs, est cost %.3g\n",
+	fmt.Fprintf(&sb, "plan: %d levels, %s, %d restriction pairs, est cost %.3g partial embeddings (symbolic units)\n",
 		len(pl.Order), mode, pl.NumRestrictions(), pl.EstCost)
 	fmt.Fprintf(&sb, "pattern: %v\n", pl.P)
+	embeddings, cum := 1.0, 0.0
 	for i, v := range pl.Order {
 		fmt.Fprintf(&sb, "  L%d: bind u%d", i, v)
 		if pl.VLabels[i] != NoLabel {
@@ -417,7 +422,9 @@ func (pl *Plan) Explain() string {
 		for _, e := range pl.SmallerThan[i] {
 			fmt.Fprintf(&sb, " v<L%d", e)
 		}
-		fmt.Fprintf(&sb, "  est %.3g\n", pl.EstCands[i])
+		embeddings *= pl.EstCands[i]
+		cum += embeddings
+		fmt.Fprintf(&sb, "  est %.3g candidates, cum cost %.3g\n", pl.EstCands[i], cum)
 	}
 	return sb.String()
 }

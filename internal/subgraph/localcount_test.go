@@ -1,0 +1,176 @@
+package subgraph
+
+import (
+	"context"
+	"testing"
+
+	"fractal/internal/graph"
+	"fractal/internal/workload"
+)
+
+// bruteLocals computes the sweep's locals the slow way: distinct-neighbor
+// degrees, distinct common-neighbor counts per distinct adjacent pair, and
+// per-vertex triangle counts, all over the simple-graph skeleton.
+func bruteLocals(g *graph.Graph) (sdeg []int64, pairs [][3]int64, tri []int64) {
+	n := g.NumVertices()
+	adj := make([]map[graph.VertexID]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[graph.VertexID]bool{}
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			adj[v][w] = true
+		}
+	}
+	sdeg = make([]int64, n)
+	tri = make([]int64, n)
+	for v := 0; v < n; v++ {
+		sdeg[v] = int64(len(adj[v]))
+	}
+	for u := 0; u < n; u++ {
+		for w := range adj[u] {
+			if int(w) <= u {
+				continue
+			}
+			var c int64
+			for x := range adj[u] {
+				if adj[int(w)][x] {
+					c++
+				}
+			}
+			pairs = append(pairs, [3]int64{int64(u), int64(w), c})
+			tri[u] += c
+			tri[int(w)] += c
+		}
+	}
+	for v := range tri {
+		tri[v] /= 2
+	}
+	return sdeg, pairs, tri
+}
+
+func localTestGraphs() []*graph.Graph {
+	small := graph.NewBuilder("lc-hand")
+	for i := 0; i < 6; i++ {
+		small.AddVertex()
+	}
+	// Two triangles sharing vertex 0, a pendant at 5 — plus parallel edges
+	// that the dedup must erase.
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {0, 2}, {0, 3}, {3, 4}, {0, 4}, {4, 5}, {0, 1}, {3, 4}} {
+		small.MustAddEdge(e[0], e[1])
+	}
+	return []*graph.Graph{
+		small.Build(),
+		workload.ErdosRenyi("lc-er", 60, 220, 1, 41),
+		workload.BarabasiAlbert("lc-ba", 80, 4, 1, 42),
+		oracleMultigraph("lc-multi", 40, 160, 1, 43),
+	}
+}
+
+func TestLocalCountsOracle(t *testing.T) {
+	for _, g := range localTestGraphs() {
+		sdeg, pairs, tri := bruteLocals(g)
+
+		// Oracle sums for a representative basket of closures.
+		var wantEdges, wantWedges, wantTriBase, wantStars, wantTriSum int64
+		for _, p := range pairs {
+			wantEdges++
+			wantWedges += (sdeg[p[0]] - 1) * (sdeg[p[1]] - 1)
+			wantTriBase += p[2]
+		}
+		for v := range sdeg {
+			wantStars += sdeg[v] * (sdeg[v] - 1) / 2
+			wantTriSum += tri[v]
+		}
+
+		terms := LocalTerms{
+			Pair: []func(du, dv, c int64) int64{
+				func(du, dv, c int64) int64 { return 1 },
+				func(du, dv, c int64) int64 { return (du - 1) * (dv - 1) },
+				func(du, dv, c int64) int64 { return c },
+			},
+			Vertex: []func(d, tri int64) int64{
+				func(d, tri int64) int64 { return d * (d - 1) / 2 },
+				func(d, tri int64) int64 { return tri },
+			},
+			NeedTri: true,
+		}
+		for _, cores := range []int{1, 3, 8} {
+			pairSums, vertexSums, ops, err := LocalCounts(context.Background(), g, terms, cores)
+			if err != nil {
+				t.Fatalf("%s cores=%d: %v", g.Name(), cores, err)
+			}
+			if pairSums[0] != wantEdges || pairSums[1] != wantWedges || pairSums[2] != wantTriBase {
+				t.Errorf("%s cores=%d pair sums: got %v, want [%d %d %d]",
+					g.Name(), cores, pairSums, wantEdges, wantWedges, wantTriBase)
+			}
+			if vertexSums[0] != wantStars || vertexSums[1] != wantTriSum {
+				t.Errorf("%s cores=%d vertex sums: got %v, want [%d %d]",
+					g.Name(), cores, vertexSums, wantStars, wantTriSum)
+			}
+			if ops <= 0 {
+				t.Errorf("%s cores=%d: ops=%d, want positive", g.Name(), cores, ops)
+			}
+		}
+	}
+}
+
+// TestLocalCountsDegreeOnly checks the cheap path: no common-neighbor sweep
+// when nothing needs triangles.
+func TestLocalCountsDegreeOnly(t *testing.T) {
+	g := workload.BarabasiAlbert("lc-deg", 100, 3, 1, 44)
+	sdeg, pairs, _ := bruteLocals(g)
+	var wantEdges, wantStars int64
+	for range pairs {
+		wantEdges++
+	}
+	for v := range sdeg {
+		wantStars += sdeg[v] * (sdeg[v] - 1) * (sdeg[v] - 2) / 6
+	}
+	terms := LocalTerms{
+		Pair:   []func(du, dv, c int64) int64{func(du, dv, c int64) int64 { return 1 }},
+		Vertex: []func(d, tri int64) int64{func(d, tri int64) int64 { return d * (d - 1) * (d - 2) / 6 }},
+	}
+	pairSums, vertexSums, opsCheap, err := LocalCounts(context.Background(), g, terms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairSums[0] != wantEdges || vertexSums[0] != wantStars {
+		t.Errorf("got %v %v, want [%d] [%d]", pairSums, vertexSums, wantEdges, wantStars)
+	}
+	terms.NeedTri = true
+	_, _, opsTri, err := LocalCounts(context.Background(), g, terms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opsCheap >= opsTri {
+		t.Errorf("degree-only sweep ops=%d not below tri sweep ops=%d", opsCheap, opsTri)
+	}
+}
+
+func TestLocalCountsCancellation(t *testing.T) {
+	g := workload.BarabasiAlbert("lc-cancel", 2000, 8, 1, 45)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	terms := LocalTerms{
+		Pair:    []func(du, dv, c int64) int64{func(du, dv, c int64) int64 { return c }},
+		NeedTri: true,
+	}
+	if _, _, _, err := LocalCounts(ctx, g, terms, 4); err == nil {
+		t.Error("cancelled context: expected error")
+	}
+}
+
+func TestLocalCountsEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder("lc-empty").Build()
+	terms := LocalTerms{
+		Pair:    []func(du, dv, c int64) int64{func(du, dv, c int64) int64 { return 1 }},
+		Vertex:  []func(d, tri int64) int64{func(d, tri int64) int64 { return 1 }},
+		NeedTri: true,
+	}
+	pairSums, vertexSums, _, err := LocalCounts(context.Background(), g, terms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairSums[0] != 0 || vertexSums[0] != 0 {
+		t.Errorf("empty graph sums: %v %v", pairSums, vertexSums)
+	}
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench_json.sh — run a benchmark suite and emit a machine-readable JSON
+# snapshot so the perf trajectory is trackable across PRs.
+#
+# Usage:
+#   ./scripts/bench_json.sh [suite] [benchtime]
+#
+# suite      Makefile bench suite to run (default: decomp). The output file
+#            is BENCH_<suite>.json in the repo root.
+# benchtime  go test -benchtime value (default: 1s; CI smoke uses 1x).
+#
+# The JSON shape is stable:
+#   {"suite": "...", "go": "...", "benchtime": "...",
+#    "results": [{"name": "...", "iterations": N, "ns_per_op": F,
+#                 "bytes_per_op": N, "allocs_per_op": N}, ...]}
+# Parsing is textual on the standard go-test bench line format; lines that
+# do not look like benchmark results are ignored.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+suite="${1:-decomp}"
+benchtime="${2:-1s}"
+out="BENCH_${suite}.json"
+
+raw="$(make "bench-${suite}" BENCHTIME="${benchtime}")"
+printf '%s\n' "${raw}"
+
+printf '%s\n' "${raw}" | awk -v suite="${suite}" -v gover="$(go env GOVERSION)" -v benchtime="${benchtime}" '
+BEGIN {
+    printf "{\"suite\": \"%s\", \"go\": \"%s\", \"benchtime\": \"%s\", \"results\": [", suite, gover, benchtime
+    n = 0
+}
+$1 ~ /^Benchmark/ && $3 == "ns/op" || ($1 ~ /^Benchmark/ && $4 == "ns/op") {
+    # Formats: "BenchmarkX-8  N  F ns/op [B B/op A allocs/op]"
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; nsop = $3
+    bop = "null"; aop = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+    }
+    if (n++) printf ", "
+    printf "{\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, iters, nsop, bop, aop
+}
+END { print "]}" }
+' > "${out}"
+
+echo "wrote ${out}"
